@@ -1,0 +1,85 @@
+"""Experiment A1 — ablation: comparator result normalisation.
+
+Section 4.3 requires the comparison algorithm to "allow for possible
+differences in the representation of correct results".  This ablation
+shows why: without normalisation, representation differences between
+correct answers (10 vs 10.00, padded CHAR values) read as disagreement,
+producing false alarms on perfectly healthy diverse replicas.
+"""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.middleware import ResultComparator
+from repro.middleware.comparator import ReplicaAnswer
+
+
+def representative_answers():
+    """Correct answers from two products differing only in rendering."""
+    return [
+        ReplicaAnswer(
+            replica="IB", status="ok", columns=("TOTAL",),
+            rows=((Decimal("10.00"), "ab   "),), rowcount=1,
+        ),
+        ReplicaAnswer(
+            replica="OR", status="ok", columns=("total",),
+            rows=((10, "ab"),), rowcount=1,
+        ),
+    ]
+
+
+def skewed_answers():
+    """A genuinely wrong value (the 1e-7 arithmetic-bug skew)."""
+    return [
+        ReplicaAnswer(replica="IB", status="ok", columns=("v",),
+                      rows=((3.3333333,),), rowcount=1),
+        ReplicaAnswer(replica="OR", status="ok", columns=("v",),
+                      rows=((3.3334333,),), rowcount=1),
+    ]
+
+
+def test_bench_comparator_normalisation(benchmark):
+    normalised = ResultComparator(normalize=True)
+    raw = ResultComparator(normalize=False)
+    answers = representative_answers()
+
+    result = benchmark(normalised.compare, answers)
+
+    print("\n=== A1: comparator normalisation ablation ===")
+    agree_norm = result.unanimous
+    agree_raw = raw.compare(answers).unanimous
+    print(f"representation-only differences: normalised -> "
+          f"{'agree' if agree_norm else 'FALSE ALARM'}; "
+          f"raw -> {'agree' if agree_raw else 'FALSE ALARM'}")
+    skew_norm = normalised.compare(skewed_answers()).unanimous
+    print(f"genuine 1e-4-level skew: normalised -> "
+          f"{'MISSED' if skew_norm else 'detected'}")
+    assert agree_norm          # normalisation: correct answers agree
+    assert not agree_raw       # ablated: false alarm
+    assert not skew_norm       # sensitivity retained for real bugs
+
+
+def test_bench_false_alarm_rate_ablated(benchmark):
+    """Quantify the ablation over a stream of correct mixed-type rows."""
+    import random
+
+    rng = random.Random(5)
+    pairs = []
+    for _ in range(300):
+        value = rng.randint(0, 500)
+        left = ReplicaAnswer(replica="A", status="ok", columns=("v",),
+                             rows=((Decimal(value) * Decimal("1.00"),),), rowcount=1)
+        right = ReplicaAnswer(replica="B", status="ok", columns=("V",),
+                              rows=((value,),), rowcount=1)
+        pairs.append([left, right])
+
+    def false_alarms(comparator):
+        return sum(1 for answers in pairs if not comparator.compare(answers).unanimous)
+
+    ablated = benchmark(false_alarms, ResultComparator(normalize=False))
+    clean = false_alarms(ResultComparator(normalize=True))
+    print(f"\nfalse alarms over 300 correct answers: "
+          f"normalised {clean}, ablated {ablated}")
+    assert clean == 0
+    assert ablated == 300

@@ -1,0 +1,76 @@
+"""Experiment W2 — availability under replica crashes.
+
+Section 2.1: "Availability could also be improved because servers that
+are diagnosed as correct can continue operation while recovery is
+performed on the faulty server[s]."
+
+A crash-prone replica joins a 3-version configuration under TPC-C-style
+load; the service keeps answering (zero client-visible outages), the
+faulty replica is repeatedly recovered by log replay, and replica state
+stays consistent — versus the 1-version baseline where every crash is a
+full outage.
+"""
+
+import pytest
+
+from repro.errors import EngineCrash
+from repro.faults import CrashEffect, FaultSpec, SqlPatternTrigger
+from repro.middleware import DiverseServer
+from repro.servers import make_server
+from repro.workload import TpccGenerator, WorkloadRunner
+
+TRANSACTIONS = 60
+
+
+def crashy_fault():
+    # Crashes on a narrow slice of the load: stock-level queries for
+    # one district (a Heisenbug-ish environmental failure region).
+    return FaultSpec(
+        "W2-CRASH",
+        "crashes on stock-level analysis queries",
+        SqlPatternTrigger(r"COUNT\s*\(\s*DISTINCT\s+s_i_id"),
+        CrashEffect("scheduler deadlock"),
+    )
+
+
+def test_bench_availability_single_vs_triple(benchmark):
+    def run_triple():
+        server = DiverseServer(
+            [make_server("IB", [crashy_fault()]), make_server("OR"), make_server("MS")],
+            adjudication="majority",
+            auto_recover=True,
+        )
+        runner = WorkloadRunner(server, seed=13)
+        runner.setup()
+        metrics = runner.run(TRANSACTIONS, generator=TpccGenerator(seed=13))
+        return metrics, server
+
+    (metrics, server) = benchmark.pedantic(run_triple, rounds=1, iterations=1)
+
+    # Baseline: the same faulty product alone.
+    single = make_server("IB", [crashy_fault()])
+    runner = WorkloadRunner(single, seed=13)
+    runner.setup()
+    outages = 0
+    single_metrics = None
+    try:
+        single_metrics = runner.run(TRANSACTIONS, generator=TpccGenerator(seed=13))
+        outages = single_metrics.crashes
+    except EngineCrash:  # pragma: no cover - runner catches crashes
+        outages = 1
+
+    print("\n=== W2: availability under a crash-prone replica ===")
+    print(f"3v majority: {metrics.transactions} transactions completed, "
+          f"client-visible crashes: {metrics.crashes}, "
+          f"replica crashes absorbed: {server.stats.replica_crashes}, "
+          f"recoveries: {server.stats.recoveries}")
+    if single_metrics is not None:
+        print(f"1v baseline: crashes hit the client {single_metrics.crashes} time(s), "
+              f"aborting {single_metrics.aborted_transactions} transaction(s)")
+    print(f"replica state consistent after the run: "
+          f"{server.verify_consistency() == {}}")
+    assert metrics.crashes == 0                 # the service never went down
+    assert server.stats.replica_crashes >= 1    # though the replica did
+    assert server.stats.recoveries >= 1         # and was brought back
+    assert server.verify_consistency() == {}
+    assert outages >= 1                         # the 1v baseline suffered

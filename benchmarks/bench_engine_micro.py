@@ -1,0 +1,84 @@
+"""Engine microbenchmarks.
+
+Not a paper experiment: these track the substrate's own performance
+(parse, scan, join, aggregate, transaction round-trip) so regressions
+in the engine don't silently distort the experiment harness, whose
+virtual-cost model assumes statement execution is cheap.
+"""
+
+import pytest
+
+from repro.sqlengine import Engine
+from repro.sqlengine.parser import parse_statement
+
+ROWS = 300
+
+COMPLEX_QUERY = (
+    "SELECT p.grp, COUNT(*), SUM(p.val) FROM bench_t p "
+    "WHERE p.val > 10 AND p.grp IN ('g1', 'g2', 'g3') "
+    "GROUP BY p.grp HAVING COUNT(*) > 1 ORDER BY 2 DESC"
+)
+
+
+@pytest.fixture(scope="module")
+def loaded_engine():
+    engine = Engine("bench")
+    engine.execute(
+        "CREATE TABLE bench_t (id INTEGER PRIMARY KEY, grp VARCHAR(4), val INTEGER)"
+    )
+    for index in range(ROWS):
+        engine.execute(
+            f"INSERT INTO bench_t (id, grp, val) "
+            f"VALUES ({index}, 'g{index % 5}', {index % 97})"
+        )
+    return engine
+
+
+def test_bench_parse_complex_select(benchmark):
+    stmt = benchmark(parse_statement, COMPLEX_QUERY)
+    assert stmt is not None
+
+
+def test_bench_full_scan_filter(benchmark, loaded_engine):
+    result = benchmark(loaded_engine.execute, "SELECT id FROM bench_t WHERE val > 48")
+    assert result.rowcount > 0
+
+
+def test_bench_group_aggregate(benchmark, loaded_engine):
+    result = benchmark(loaded_engine.execute, COMPLEX_QUERY)
+    assert result.rows
+
+
+def test_bench_self_join(benchmark, loaded_engine):
+    result = benchmark(
+        loaded_engine.execute,
+        "SELECT a.id FROM bench_t a JOIN bench_t b ON a.id = b.id WHERE a.id < 50",
+    )
+    assert result.rowcount == 50
+
+
+def test_bench_insert_rollback_cycle(benchmark, loaded_engine):
+    def cycle():
+        loaded_engine.execute("BEGIN")
+        loaded_engine.execute(
+            "INSERT INTO bench_t (id, grp, val) VALUES (100000, 'gx', 1)"
+        )
+        loaded_engine.execute("UPDATE bench_t SET val = val + 1 WHERE id = 100000")
+        loaded_engine.execute("ROLLBACK")
+
+    benchmark(cycle)
+    assert (
+        loaded_engine.execute(
+            "SELECT COUNT(*) FROM bench_t WHERE id = 100000"
+        ).scalar()
+        == 0
+    )
+
+
+def test_bench_correlated_subquery(benchmark, loaded_engine):
+    result = benchmark(
+        loaded_engine.execute,
+        "SELECT id FROM bench_t p WHERE val = "
+        "(SELECT MAX(val) FROM bench_t q WHERE q.grp = p.grp) AND id < 150",
+    )
+    assert result.rows

@@ -1,0 +1,67 @@
+"""Experiment S6b — Monte Carlo failure-process comparison.
+
+Simulates a demand stream against single servers, diverse pairs, and a
+diverse triple, with per-bug activation rates derived from the study.
+The shape the paper predicts: diversity turns almost all silent wrong
+answers into detected (fail-safe) or masked failures; the residual
+undetected rate of a pair is set by its non-detectable coincident bugs
+(IB+PG: 223512; pairs with none go to zero).
+"""
+
+import pytest
+
+from repro.reliability import FailureProcessSimulator
+from repro.reliability.simulate import bug_profiles_from_study
+
+DEMANDS = 8000
+
+
+def test_bench_failure_process(benchmark, study):
+    profiles = bug_profiles_from_study(
+        study, base_rate=1e-3, rate_dispersion=1.0, seed=9
+    )
+
+    def simulate():
+        simulator = FailureProcessSimulator(profiles, seed=9)
+        return simulator.compare_configurations(DEMANDS)
+
+    results = benchmark.pedantic(simulate, rounds=1, iterations=1)
+
+    print("\n=== S6b: simulated failure process ({} demands) ===".format(DEMANDS))
+    print(f"{'config':<14} {'undetected':>11} {'detected':>9} {'masked':>7} {'unreliability':>14}")
+    for name, outcome in results.items():
+        print(
+            f"{name:<14} {outcome.undetected_rate:>11.5f} {outcome.detected:>9} "
+            f"{outcome.masked:>7} {outcome.unreliability:>14.5f}"
+        )
+    singles = [r for name, r in results.items() if name.startswith("1v")]
+    pairs = [r for name, r in results.items() if name.startswith("2v")]
+    triples = [r for name, r in results.items() if name.startswith("3v")]
+    worst_single = max(o.undetected_rate for o in singles)
+    worst_pair = max(o.undetected_rate for o in pairs)
+    best_triple = min(o.undetected_rate for o in triples)
+    print(f"\nworst 1v undetected rate: {worst_single:.5f}")
+    print(f"worst 2v undetected rate: {worst_pair:.5f}")
+    print(f"3v undetected rate:       {best_triple:.5f}")
+    # Shape: each diversity step cuts silent failures by a large factor.
+    assert worst_pair < worst_single / 5
+    assert best_triple <= worst_pair
+    assert all(o.masked > 0 for o in triples)
+
+
+def test_bench_usage_profile_sensitivity(benchmark, study):
+    """Section 6's final point: the same bug set yields different gains
+    under different usage profiles — per-installation assessment needed."""
+    from repro.reliability import profile_sensitivity
+    from repro.reliability.simulate import bug_profiles_from_study
+
+    base = bug_profiles_from_study(study, base_rate=1e-3, rate_dispersion=0.0, seed=4)
+
+    def run():
+        return profile_sensitivity(study, base, ["IB"], demands=4000, seed=4)
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== usage-profile sensitivity (1v IB undetected rate) ===")
+    for name, rate in rates.items():
+        print(f"{name:<14} {rate:.5f}")
+    assert len(set(rates.values())) > 1

@@ -1,0 +1,22 @@
+"""Experiment S7a — Section 7 statistics: failure-type shares.
+
+"the majority of bugs reported, for all servers, led to 'incorrect
+result' failures (64.5%) rather than crashes (17.1%)".
+"""
+
+from repro.study import failure_type_shares
+
+
+def test_bench_failure_shares(benchmark, study):
+    shares = benchmark(failure_type_shares, study)
+
+    print("\n=== Section 7 failure-type shares ===")
+    print(f"home failures observed: {shares.total_failures}")
+    print(f"incorrect result: {shares.incorrect:>3} = "
+          f"{100 * shares.incorrect_fraction:.1f}%   (paper: 64.5%)")
+    print(f"engine crash:     {shares.crash:>3} = "
+          f"{100 * shares.crash_fraction:.1f}%   (paper: 17.1%)")
+    print(f"performance:      {shares.performance:>3}")
+    print(f"other:            {shares.other:>3}")
+    assert round(100 * shares.incorrect_fraction, 1) == 64.5
+    assert round(100 * shares.crash_fraction, 1) == 17.1

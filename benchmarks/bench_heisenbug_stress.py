@@ -1,0 +1,42 @@
+"""Experiment A2 — Section 3.2: re-running Heisenbugs under stress.
+
+"We intend to run the Heisenbugs again in a more stressful simulated
+environment (with multiple clients and large number of transactions) to
+see whether repeated trials will give incorrect results."
+
+Shape: in normal mode the 29 home-no-failure bugs never fail; in stress
+mode a fraction of them do (each Heisenbug activates probabilistically
+per triggered statement).
+"""
+
+import pytest
+
+from repro.study import run_study
+
+
+def count_home_failures(study, reports):
+    return sum(
+        1
+        for report in reports
+        if study.outcome(report.bug_id, report.reported_for).failed
+    )
+
+
+def test_bench_heisenbug_stress(benchmark, corpus):
+    heisenbugs = [report for report in corpus if report.heisenbug]
+
+    def stressed_run():
+        return run_study(corpus, stress_mode=True, seed=17)
+
+    stressed = benchmark.pedantic(stressed_run, rounds=1, iterations=1)
+    normal = run_study(corpus, stress_mode=False)
+
+    normal_failures = count_home_failures(normal, heisenbugs)
+    stressed_failures = count_home_failures(stressed, heisenbugs)
+    print("\n=== A2: Heisenbug re-execution under stress ===")
+    print(f"Heisenbug reports:               {len(heisenbugs)} (paper: 8+5+4+12 = 29)")
+    print(f"home failures, normal re-run:    {normal_failures} (paper observed: 0)")
+    print(f"home failures, stress mode:      {stressed_failures}")
+    assert len(heisenbugs) == 29
+    assert normal_failures == 0
+    assert 0 < stressed_failures < len(heisenbugs)

@@ -1,0 +1,75 @@
+"""Experiment M1 — validation: run every runnable bug script *through*
+the diverse middleware in every 2-version configuration.
+
+Bug-level detection must agree with Table 3: every failure the pair
+exhibits is surfaced (disagreement, crash, or performance anomaly)
+*except* the non-detectable bugs — identical wrong answers that win the
+comparison.  This validates the middleware against the study rather
+than trusting the study's counting alone.
+"""
+
+from repro.bugs import groundtruth as gt
+from repro.dialects import translate_script
+from repro.errors import AdjudicationFailure, FeatureNotSupported, SqlError
+from repro.middleware import DiverseServer, ReplicaState
+from repro.servers import make_server
+from repro.study.runner import split_statements
+
+PAIRS = [("IB", "PG"), ("IB", "OR"), ("IB", "MS"), ("PG", "OR"), ("PG", "MS"), ("OR", "MS")]
+
+
+def run_pair(corpus, x, y):
+    """(scripts run, scripts with at least one detection event)."""
+    server = DiverseServer(
+        [make_server(x, corpus.faults_for(x)), make_server(y, corpus.faults_for(y))],
+        adjudication="compare",
+        auto_recover=False,
+    )
+    ran = detected = 0
+    for report in corpus:
+        if report.translation_pending & {x, y}:
+            continue
+        try:
+            for key in (x, y):
+                translate_script(report.script, key)
+        except FeatureNotSupported:
+            continue
+        ran += 1
+        for replica in server.replicas:
+            replica.product.reset()
+            replica.state = ReplicaState.ACTIVE
+        server._write_log.clear()
+        events_before = server.stats.detection_events
+        for statement in split_statements(report.script):
+            try:
+                server.execute(statement)
+            except AdjudicationFailure:
+                continue  # detection already counted in stats
+            except SqlError:
+                continue  # unanimous error: correct behaviour
+        detected += int(server.stats.detection_events > events_before)
+    return ran, detected
+
+
+def test_bench_middleware_detection(benchmark, corpus):
+    def run_all():
+        return {pair: run_pair(corpus, *pair) for pair in PAIRS}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # PG-43 fails *both* PG and MS with (different) spurious errors: the
+    # middleware sees a unanimous error and propagates it — the client
+    # observes a self-evident failure (fail-safe), but no comparison
+    # disagreement fires.  Every other detectable failure is caught.
+    both_error_coincident = {("PG", "MS"): 1}
+
+    print("\n=== M1: corpus bug scripts through the 2-version middleware ===")
+    print(f"{'pair':<8} {'run':>5} {'detected':>9} {'expected':>9}  note")
+    for pair, (ran, detected) in results.items():
+        run_expected, fail_any, _se, _nse, nd, _dse, _dnse = gt.PAPER_TABLE3[pair]
+        both_error = both_error_coincident.get(pair, 0)
+        expected = fail_any - nd - both_error
+        note = "(+1 surfaces as unanimous error to the client)" if both_error else ""
+        print(f"{pair[0]}+{pair[1]:<5} {ran:>5} {detected:>9} {expected:>9}  {note}")
+        assert ran == run_expected, pair
+        assert detected == expected, pair

@@ -1,0 +1,27 @@
+"""Experiment T1 — Table 1: results of running the bug scripts on all
+four servers.
+
+Regenerates every cell of the paper's Table 1 from the executed study
+and checks them against the published values (all 192 cells match).
+"""
+
+from repro.bugs import groundtruth as gt
+from repro.study import build_table1
+from repro.study.tables import render_table1
+
+
+def test_bench_table1(benchmark, study):
+    table = benchmark(build_table1, study)
+
+    print("\n=== Table 1 (reproduced) ===")
+    print(render_table1(table))
+    mismatches = []
+    for reported, targets in gt.PAPER_TABLE1.items():
+        for target, expected in targets.items():
+            for key, value in expected.items():
+                got = table[reported][target][key]
+                if got != value:
+                    mismatches.append((reported, target, key, value, got))
+    print(f"cells checked: {sum(len(t) * 12 for t in gt.PAPER_TABLE1.values())}, "
+          f"mismatches vs paper: {len(mismatches)}")
+    assert not mismatches

@@ -1,0 +1,35 @@
+"""Experiment T2 — Table 2: bug scripts per server combination and the
+number of servers each bug fails.
+
+Headline check: no bug causes failures in more than two servers.
+Three cells of the published no-failure/one-server breakdown deviate by
+one bug each (the paper's Tables 1 and 2 are mutually inconsistent by
+one bug; we reproduce Table 1 exactly — see EXPERIMENTS.md).
+"""
+
+from repro.bugs import groundtruth as gt
+from repro.study import build_table2
+from repro.study.tables import render_table2
+
+
+def test_bench_table2(benchmark, study):
+    table = benchmark(build_table2, study)
+
+    print("\n=== Table 2 (reproduced) ===")
+    print(render_table2(table))
+    print("\ngroup   paper(total,none,one,two)  measured            note")
+    deviations = 0
+    for group, paper in gt.PAPER_TABLE2.items():
+        row = table[group]
+        measured = (row.total, row.none_fail, row.one_fails, row.two_fail)
+        expected = gt.TABLE2_KNOWN_DEVIATIONS.get(group, paper)
+        note = ""
+        if group in gt.TABLE2_KNOWN_DEVIATIONS:
+            note = "documented one-bug deviation"
+            deviations += 1
+        print(f"{group:<7} {str(paper):<26} {str(measured):<19} {note}")
+        assert measured == expected, group
+    print(f"\nNo bug fails in more than two servers: "
+          f"{all(row.more_than_two == 0 for row in table.values())}")
+    print(f"documented deviations: {deviations} cells (each off by one bug)")
+    assert all(row.more_than_two == 0 for row in table.values())

@@ -1,0 +1,27 @@
+"""Experiment T4 — Table 4: the coincident-failure matrix.
+
+12 bugs fail both at home and in exactly one other server; MSSQL report
+56775 additionally fails only PostgreSQL (reported separately, as in
+the paper's prose).
+"""
+
+from repro.bugs import groundtruth as gt
+from repro.study import build_table4
+from repro.study.tables import heisenbug_extras, render_table4
+
+
+def test_bench_table4(benchmark, study):
+    table = benchmark(build_table4, study)
+
+    print("\n=== Table 4 (reproduced) ===")
+    print(render_table4(table))
+    for reported, columns in gt.PAPER_TABLE4.items():
+        for target, value in columns.items():
+            assert table[reported][target] == value, (reported, target)
+    total = sum(sum(cols.values()) for cols in table.values())
+    extras = heisenbug_extras(study)
+    print(f"\ncoincident bugs (home + one other server): {total} (paper: 12)")
+    print(f"home-Heisenbug failing elsewhere: "
+          f"{[bug for bug, _ in extras]} (paper: MSSQL 56775 -> PG)")
+    assert total == 12
+    assert [bug for bug, _ in extras] == ["MS-56775"]

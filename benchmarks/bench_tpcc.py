@@ -1,0 +1,102 @@
+"""Experiment W1 — Section 7 future work: TPC-C-style statistical
+testing through the middleware.
+
+The paper: "We have run a few million queries with various loads
+including experiments based on the TPC-C benchmark. We have not
+observed any failures so far (however, with the TPC-C load we found
+that a significant gain in performance can be obtained with diverse
+servers [9])."
+
+Shape to reproduce: (1) fault-free TPC-C runs through 1-version and
+diverse configurations show zero failures; (2) full comparison costs
+roughly a factor of the replica count in throughput; (3) the read-split
+optimisation of [9] claws a large part of that back on read-heavy
+loads.
+"""
+
+import pytest
+
+from repro.middleware import DiverseServer
+from repro.servers import make_server
+from repro.workload import TpccGenerator, TransactionMix, WorkloadRunner
+
+TRANSACTIONS = 150
+
+#: Read-heavy mix for the read-split comparison (the [9] scenario).
+READ_HEAVY = TransactionMix(new_order=5, payment=5, order_status=45,
+                            delivery=0, stock_level=45)
+
+
+def run_workload(endpoint, mix=None, seed=3):
+    runner = WorkloadRunner(endpoint, seed=seed)
+    runner.setup()
+    generator = TpccGenerator(seed=seed, mix=mix) if mix else TpccGenerator(seed=seed)
+    return runner.run(TRANSACTIONS, generator=generator)
+
+
+def test_bench_tpcc_single_server(benchmark):
+    metrics = benchmark.pedantic(
+        lambda: run_workload(make_server("IB")), rounds=1, iterations=1
+    )
+    print(f"\n1v IB: {metrics.statements} statements, "
+          f"{metrics.statements_per_second:.0f} stmt/s, "
+          f"failures: {int(not metrics.failure_free)}")
+    assert metrics.failure_free
+
+
+def test_bench_tpcc_diverse_pair(benchmark):
+    def run():
+        server = DiverseServer(
+            [make_server("IB"), make_server("OR")], adjudication="compare"
+        )
+        return run_workload(server), server
+
+    (metrics, server) = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n2v IB+OR (compare): {metrics.statements} statements, "
+          f"{metrics.statements_per_second:.0f} stmt/s, "
+          f"disagreements: {metrics.detected_disagreements}")
+    assert metrics.failure_free  # paper: no failures observed under TPC-C
+    assert server.stats.unanimous > 0
+
+
+def test_bench_tpcc_three_versions(benchmark):
+    def run():
+        server = DiverseServer(
+            [make_server("IB"), make_server("OR"), make_server("MS")],
+            adjudication="majority",
+        )
+        return run_workload(server)
+
+    metrics = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n3v majority: {metrics.statements} statements, "
+          f"{metrics.statements_per_second:.0f} stmt/s")
+    assert metrics.failure_free
+
+
+def test_bench_tpcc_read_split_gain(benchmark):
+    """The [9] performance observation: on a read-heavy load, sending
+    reads to a single replica recovers much of the comparison cost."""
+
+    def run_all():
+        single = run_workload(make_server("IB"), mix=READ_HEAVY)
+        full = run_workload(
+            DiverseServer([make_server("IB"), make_server("OR")],
+                          adjudication="compare"),
+            mix=READ_HEAVY,
+        )
+        split = run_workload(
+            DiverseServer([make_server("IB"), make_server("OR")],
+                          adjudication="majority", read_split=True),
+            mix=READ_HEAVY,
+        )
+        return single, full, split
+
+    single, full, split = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print("\n=== read-split performance (read-heavy mix) ===")
+    print(f"1v:                 {single.statements_per_second:>8.0f} stmt/s")
+    print(f"2v full compare:    {full.statements_per_second:>8.0f} stmt/s")
+    print(f"2v read-split:      {split.statements_per_second:>8.0f} stmt/s")
+    assert single.failure_free and full.failure_free and split.failure_free
+    # Shape: full comparison is the slowest; read-split sits between.
+    assert full.statements_per_second < single.statements_per_second
+    assert split.statements_per_second > full.statements_per_second

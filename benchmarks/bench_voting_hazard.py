@@ -1,0 +1,98 @@
+"""Experiment M2 — the voting hazard of identical coincident failures.
+
+The paper's non-detectable bugs do not merely slip past a 2-version
+comparison: in a 3-version *majority* configuration that contains both
+affected products, the two identical wrong answers form a majority and
+**out-vote the correct replica** — the middleware then suspects the
+healthy server.  This quantifies why "only four non-detectable bugs"
+is the paper's most load-bearing number, and why replica-set selection
+should avoid pairs with known identical failures.
+"""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.middleware import DiverseServer, ReplicaState
+from repro.servers import make_server
+from repro.study.runner import split_statements
+
+#: Non-detectable coincident bugs and the third (healthy) product used
+#: to complete the triple.
+ND_CASES = {
+    "IB-223512": (("IB", "PG"), "OR"),
+    "IB-217042": (("IB", "MS"), "OR"),
+    "PG-77": (("PG", "MS"), "OR"),
+    "MS-58544": (("MS", "IB"), "OR"),
+}
+
+
+def run_case(corpus, bug_id):
+    (affected, third) = ND_CASES[bug_id]
+    report = corpus.get(bug_id)
+    replicas = [make_server(key, corpus.faults_for(key)) for key in affected]
+    replicas.append(make_server(third, corpus.faults_for(third)))
+    server = DiverseServer(replicas, adjudication="majority", auto_recover=False)
+    healthy_suspected = False
+    for statement in split_statements(report.script):
+        try:
+            server.execute(statement)
+        except SqlError:
+            continue
+        if server.replica(third).state is ReplicaState.SUSPECTED:
+            healthy_suspected = True
+    return server.stats.failures_masked, healthy_suspected
+
+
+def test_bench_voting_hazard(benchmark, corpus):
+    def run_all():
+        return {bug_id: run_case(corpus, bug_id) for bug_id in ND_CASES}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\n=== M2: identical wrong answers out-vote the healthy replica ===")
+    print(f"{'bug':<12} {'affected pair':<14} {'healthy replica out-voted':>26}")
+    hazards = 0
+    for bug_id, (masked, suspected) in results.items():
+        pair = "+".join(ND_CASES[bug_id][0])
+        print(f"{bug_id:<12} {pair:<14} {str(suspected):>26}")
+        hazards += int(suspected)
+    print(f"\nhazard cases: {hazards}/{len(ND_CASES)} — every non-detectable "
+          "coincident bug defeats 3-version voting when both affected "
+          "products are in the replica set")
+    # At least the wrong-result ND bugs must exhibit the hazard (the
+    # DDL-flavoured ones may surface as silent unanimity instead,
+    # which is equally undetected).
+    assert hazards >= 2
+
+
+def test_bench_voting_hazard_avoided_by_selection(benchmark, corpus):
+    """Replica-set selection: replacing one affected product removes the
+    hazard — the wrong replica is out-voted instead."""
+
+    def run():
+        report = corpus.get("MS-58544")  # identical wrong rows on MS+IB
+        server = DiverseServer(
+            [
+                make_server("MS", corpus.faults_for("MS")),
+                make_server("OR", corpus.faults_for("OR")),
+                # An IB instance *without* the shared 58544 fault: e.g. a
+                # later IB release, or simply not pairing the two products
+                # with the known identical failure.
+                make_server("IB", []),
+            ],
+            adjudication="majority",
+            auto_recover=False,
+        )
+        for statement in split_statements(report.script):
+            try:
+                server.execute(statement)
+            except SqlError:
+                continue
+        return server
+
+    server = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nMS+OR+PG triple on MS-58544: masked={server.stats.failures_masked}, "
+          f"MS suspected={server.replica('MS').state is ReplicaState.SUSPECTED}")
+    assert server.stats.failures_masked >= 1
+    assert server.replica("MS").state is ReplicaState.SUSPECTED
+    assert server.replica("OR").state is ReplicaState.ACTIVE

@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures.
+
+The full study (181 bug scripts x 4 servers, faulty + oracle runs) is
+executed once per benchmark session; individual benchmarks then measure
+their own analysis/workload stage and print paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bugs import build_corpus
+from repro.study import run_study
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return build_corpus()
+
+
+@pytest.fixture(scope="session")
+def study(corpus):
+    return run_study(corpus)

@@ -1,0 +1,112 @@
+"""Fault injection walkthrough: seed the paper's bug classes into a
+server product and watch the study classifier at work.
+
+Seeds one fault of each failure class (engine crash, incorrect result
+self-evident and non-self-evident, performance, "other") into an
+Interbase-like product, runs the same script on the faulty server and
+on a pristine oracle, and prints how each (statement, behaviour) pair
+classifies in the paper's taxonomy.
+
+Run:  python examples/fault_injection_demo.py
+"""
+
+from repro.faults import (
+    CrashEffect,
+    ErrorEffect,
+    FaultSpec,
+    PerformanceEffect,
+    RelationTrigger,
+    RowcountSkewEffect,
+    RowDropEffect,
+)
+from repro.faults.spec import Detectability, FailureKind
+from repro.servers import make_interbase
+from repro.study.classify import classify_run
+from repro.study.runner import run_script
+
+SCRIPT = """
+CREATE TABLE ledger (id INTEGER PRIMARY KEY, amount NUMERIC(8,2));
+INSERT INTO ledger (id, amount) VALUES (1, 10.00);
+INSERT INTO ledger (id, amount) VALUES (2, 20.00);
+INSERT INTO ledger (id, amount) VALUES (3, 30.00);
+SELECT id, amount FROM ledger ORDER BY id;
+UPDATE ledger SET amount = amount + 1 WHERE id > 0;
+"""
+
+DEMO_FAULTS = {
+    "engine crash": FaultSpec(
+        "DEMO-CRASH", "crashes on ledger queries",
+        RelationTrigger(["ledger"], kind="select"), CrashEffect(),
+        kind=FailureKind.ENGINE_CRASH, detectability=Detectability.SELF_EVIDENT,
+    ),
+    "incorrect result (self-evident)": FaultSpec(
+        "DEMO-ERR", "rejects a valid query",
+        RelationTrigger(["ledger"], kind="select"),
+        ErrorEffect("spurious: unknown expression type"),
+        kind=FailureKind.INCORRECT_RESULT, detectability=Detectability.SELF_EVIDENT,
+    ),
+    "incorrect result (non-self-evident)": FaultSpec(
+        "DEMO-DROP", "silently loses rows",
+        RelationTrigger(["ledger"], kind="select"), RowDropEffect(keep_one_in=2),
+        kind=FailureKind.INCORRECT_RESULT,
+        detectability=Detectability.NON_SELF_EVIDENT,
+    ),
+    "performance": FaultSpec(
+        "DEMO-SLOW", "pathological plan",
+        RelationTrigger(["ledger"], kind="select"), PerformanceEffect(factor=800),
+        kind=FailureKind.PERFORMANCE, detectability=Detectability.SELF_EVIDENT,
+    ),
+    "other (wrong rowcount)": FaultSpec(
+        "DEMO-COUNT", "reports a wrong affected-row count",
+        RelationTrigger(["ledger"], kind="update"), RowcountSkewEffect(delta=2),
+        kind=FailureKind.OTHER, detectability=Detectability.NON_SELF_EVIDENT,
+    ),
+}
+
+
+def main() -> None:
+    oracle_outcome = run_script(make_interbase(), SCRIPT)
+    print(f"{'seeded fault class':<38} {'observed classification':<42}")
+    print("-" * 80)
+    for label, fault in DEMO_FAULTS.items():
+        server = make_interbase([fault])
+        faulty_outcome = run_script(server, SCRIPT)
+        cell = classify_run(
+            faulty_outcome,
+            oracle_outcome,
+            fired=server.fired_faults(),
+            fault_specs={fault.fault_id: fault},
+        )
+        if cell.failed:
+            summary = (
+                f"{cell.failure_kind.value}, "
+                f"{'self-evident' if cell.self_evident else 'non-self-evident'}"
+            )
+        else:
+            summary = cell.kind.value
+        print(f"{label:<38} {summary:<42}")
+
+    # A Heisenbug: invisible on re-run, visible under stress.
+    heisen = FaultSpec(
+        "DEMO-HEISEN", "intermittent wrong rows",
+        RelationTrigger(["ledger"], kind="select"), RowDropEffect(keep_one_in=2),
+        heisenbug=True, stress_activation=0.5,
+    )
+    normal = make_interbase([heisen])
+    failures = sum(
+        1 for _ in range(10)
+        if len(run_script(normal, SCRIPT).statements[4].rows) != 3
+    )
+    print(f"\nHeisenbug over 10 normal re-runs:  {failures} failures (Gray's point)")
+    stressed = make_interbase([heisen], stress_mode=True, seed=3)
+    failures = 0
+    for _ in range(10):
+        stressed.reset()
+        outcome = run_script(stressed, SCRIPT)
+        if len(outcome.statements[4].rows) != 3:
+            failures += 1
+    print(f"Heisenbug over 10 stressed runs:   {failures} failures")
+
+
+if __name__ == "__main__":
+    main()

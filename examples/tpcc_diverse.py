@@ -1,0 +1,67 @@
+"""TPC-C-style load through diverse configurations (Section 7).
+
+Runs the same deterministic transaction stream against:
+
+* each single server product,
+* a 2-version diverse pair with full comparison,
+* the same pair with the read-split optimisation of reference [9],
+* a 3-version majority configuration,
+
+and prints throughput plus dependability counters — the performance /
+dependability trade-off the paper says users should tune "on an ongoing
+basis".
+
+Run:  python examples/tpcc_diverse.py
+"""
+
+from repro.middleware import DiverseServer
+from repro.servers import make_server
+from repro.workload import TpccGenerator, WorkloadRunner
+
+TRANSACTIONS = 120
+
+
+def measure(label, endpoint):
+    runner = WorkloadRunner(endpoint, seed=21)
+    runner.setup()
+    metrics = runner.run(TRANSACTIONS, generator=TpccGenerator(seed=21))
+    state = "clean" if metrics.failure_free else (
+        f"errors={metrics.sql_errors} disagreements={metrics.detected_disagreements}"
+    )
+    print(f"{label:<28} {metrics.statements_per_second:>9.0f} stmt/s   {state}")
+    return metrics
+
+
+def main() -> None:
+    print(f"{'configuration':<28} {'throughput':>16}   outcome")
+    print("-" * 64)
+    for key in ("IB", "PG", "OR", "MS"):
+        measure(f"1v {key}", make_server(key))
+    measure(
+        "2v IB+OR (full compare)",
+        DiverseServer([make_server("IB"), make_server("OR")], adjudication="compare"),
+    )
+    measure(
+        "2v IB+OR (read-split)",
+        DiverseServer(
+            [make_server("IB"), make_server("OR")],
+            adjudication="majority",
+            read_split=True,
+        ),
+    )
+    measure(
+        "3v IB+OR+MS (majority)",
+        DiverseServer(
+            [make_server("IB"), make_server("OR"), make_server("MS")],
+            adjudication="majority",
+        ),
+    )
+    print(
+        "\nAs the paper reports for its TPC-C runs: no failures observed on"
+        "\nfault-free catalogs; comparison costs throughput, read-splitting"
+        "\nrecovers much of it at the price of uncompared reads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — reproduction of "Fault Diversity among Off-The-Shelf SQL
+Database Servers" (Gashi, Popov & Strigini, DSN 2004).
+
+Top-level convenience surface; the subpackages are the real API:
+
+* :mod:`repro.sqlengine` — the from-scratch SQL engine substrate
+* :mod:`repro.servers` — the four simulated diverse products
+* :mod:`repro.faults` — fault-injection framework
+* :mod:`repro.dialects` — feature gates and script translation
+* :mod:`repro.bugs` — the 181-bug-report corpus
+* :mod:`repro.study` — the study harness and Tables 1-4 builders
+* :mod:`repro.middleware` — the diverse-redundancy SQL middleware
+* :mod:`repro.reliability` — Section-6 modelling and simulation
+* :mod:`repro.workload` — TPC-C-style statistical-testing load
+
+Command line: ``python -m repro`` re-runs the study and prints the
+reproduced tables.
+"""
+
+from repro.bugs import build_corpus
+from repro.middleware import DiverseServer
+from repro.servers import (
+    make_all_servers,
+    make_interbase,
+    make_mssql,
+    make_oracle,
+    make_postgres,
+    make_server,
+)
+from repro.study import run_study
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiverseServer",
+    "__version__",
+    "build_corpus",
+    "make_all_servers",
+    "make_interbase",
+    "make_mssql",
+    "make_oracle",
+    "make_postgres",
+    "make_server",
+    "run_study",
+]

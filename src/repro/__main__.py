@@ -1,0 +1,156 @@
+"""Command-line entry point: ``python -m repro [command]``.
+
+Commands
+--------
+``study`` (default)
+    Run the full 181-bug study and print the reproduced Tables 1-4
+    plus the Section-7 statistics.
+``tables``
+    Like ``study`` but terse: one line per table with the match status
+    against the published cells.
+``tpcc [N]``
+    Run N TPC-C-style transactions (default 100) through a 1-version
+    and a 2-version configuration and print throughput/dependability.
+``report [PATH]``
+    Write a full markdown study report (default: study_report.md).
+``export [PATH]``
+    Export the corpus (scripts + ground truth) as JSON
+    (default: corpus.json).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bugs import build_corpus
+from repro.bugs import groundtruth as gt
+from repro.study import (
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    failure_type_shares,
+    run_study,
+)
+from repro.study.tables import render_table1, render_table2, render_table3, render_table4
+
+
+def _run_study():
+    corpus = build_corpus()
+    return corpus, run_study(corpus)
+
+
+def cmd_study() -> int:
+    _, study = _run_study()
+    print(render_table1(build_table1(study)))
+    print(render_table2(build_table2(study)))
+    print()
+    print(render_table3(build_table3(study)))
+    print()
+    print(render_table4(build_table4(study)))
+    shares = failure_type_shares(study)
+    print(
+        f"\nincorrect-result failures: {100 * shares.incorrect_fraction:.1f}% "
+        f"(paper 64.5%); crashes: {100 * shares.crash_fraction:.1f}% (paper 17.1%)"
+    )
+    return 0
+
+
+def cmd_tables() -> int:
+    _, study = _run_study()
+    table1 = build_table1(study)
+    t1_match = all(
+        table1[r][t][k] == v
+        for r, targets in gt.PAPER_TABLE1.items()
+        for t, expected in targets.items()
+        for k, v in expected.items()
+    )
+    table3 = build_table3(study)
+    t3_match = all(
+        (
+            row.run, row.fail_any, row.one_se, row.one_nse,
+            row.both_nondetectable, row.both_detectable_se,
+            row.both_detectable_nse,
+        ) == gt.PAPER_TABLE3[pair]
+        for pair, row in table3.items()
+    )
+    table4 = build_table4(study)
+    t4_match = all(
+        table4[r][t] == v
+        for r, columns in gt.PAPER_TABLE4.items()
+        for t, v in columns.items()
+    )
+    table2 = build_table2(study)
+    t2_deviations = sum(
+        1
+        for group, paper in gt.PAPER_TABLE2.items()
+        if (
+            table2[group].total, table2[group].none_fail,
+            table2[group].one_fails, table2[group].two_fail,
+        ) != paper
+    )
+    print(f"Table 1: {'EXACT' if t1_match else 'MISMATCH'} (192 cells)")
+    print(f"Table 2: {t2_deviations} cells deviate (documented; totals and "
+          f"two-server rows exact)")
+    print(f"Table 3: {'EXACT' if t3_match else 'MISMATCH'} (42 cells)")
+    print(f"Table 4: {'EXACT' if t4_match else 'MISMATCH'}")
+    return 0 if (t1_match and t3_match and t4_match) else 1
+
+
+def cmd_tpcc(count: int) -> int:
+    from repro.middleware import DiverseServer
+    from repro.servers import make_interbase, make_oracle, make_server
+    from repro.workload import WorkloadRunner
+
+    for label, endpoint in [
+        ("1v IB", make_server("IB")),
+        ("2v IB+OR", DiverseServer([make_interbase(), make_oracle()],
+                                   adjudication="compare")),
+    ]:
+        runner = WorkloadRunner(endpoint, seed=1)
+        runner.setup()
+        metrics = runner.run(count)
+        print(f"{label:<10} {metrics.statements_per_second:>8.0f} stmt/s  "
+              f"errors={metrics.sql_errors} "
+              f"disagreements={metrics.detected_disagreements}")
+    return 0
+
+
+def cmd_report(path: str) -> int:
+    from repro.study.reporting import study_report_markdown
+
+    _, study = _run_study()
+    with open(path, "w") as handle:
+        handle.write(study_report_markdown(study))
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_export(path: str) -> int:
+    from repro.bugs.serialize import corpus_to_json
+
+    with open(path, "w") as handle:
+        handle.write(corpus_to_json(build_corpus()))
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    command = argv[0] if argv else "study"
+    if command == "study":
+        return cmd_study()
+    if command == "tables":
+        return cmd_tables()
+    if command == "tpcc":
+        count = int(argv[1]) if len(argv) > 1 else 100
+        return cmd_tpcc(count)
+    if command == "report":
+        return cmd_report(argv[1] if len(argv) > 1 else "study_report.md")
+    if command == "export":
+        return cmd_export(argv[1] if len(argv) > 1 else "corpus.json")
+    print(__doc__)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

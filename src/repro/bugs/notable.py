@@ -1,0 +1,479 @@
+"""The 13 bugs of Section 5: every bug that failed outside the server it
+was reported for (Table 4), modelled individually.
+
+12 bugs fail both at home and in one other server; MSSQL report 56775
+is the odd one out — a Heisenbug at home that fails in PostgreSQL.
+The five MSSQL clustered-index reports share a *single* PostgreSQL
+fault ("the latter is a known bug for PostgreSQL, [...] corrected in
+release 7.0.3"), so PostgreSQL carries one fault spec whose failure
+region covers all five scripts (plus 56775's).
+"""
+
+from __future__ import annotations
+
+from repro.bugs.report import BugReport
+from repro.faults.effects import (
+    BehaviourFlagEffect,
+    ErrorEffect,
+    RowDropEffect,
+    RowDuplicateEffect,
+    ValueSkewEffect,
+)
+from repro.faults.spec import Detectability, FailureKind, FaultSpec
+from repro.faults.triggers import RelationPrefixTrigger, RelationTrigger, TagTrigger
+
+K = FailureKind
+D = Detectability
+INC = K.INCORRECT_RESULT
+SE = D.SELF_EVIDENT
+NSE = D.NON_SELF_EVIDENT
+
+
+def _ib_223512() -> BugReport:
+    p = "ib_223512"
+    script = ";\n".join(
+        [
+            f"CREATE TABLE {p}_base (id INTEGER PRIMARY KEY, title VARCHAR(40))",
+            f"INSERT INTO {p}_base (id, title) VALUES (1, 'first')",
+            f"INSERT INTO {p}_base (id, title) VALUES (2, 'second')",
+            f"CREATE VIEW {p}_v AS SELECT id, title FROM {p}_base WHERE id > 1",
+            f"DROP TABLE {p}_v",
+        ]
+    ) + ";"
+    trigger = RelationTrigger([f"{p}_v"], kind="drop_table")
+
+    def fault(server: str) -> FaultSpec:
+        return FaultSpec(
+            fault_id=f"{server}-223512",
+            description="DROP TABLE silently drops a view (SQL-92 violation)",
+            trigger=trigger,
+            effect=BehaviourFlagEffect("allow_drop_table_on_view"),
+            kind=INC,
+            detectability=NSE,
+            notes="Interbase report 223512; also present in PostgreSQL 7.0.0",
+        )
+
+    return BugReport(
+        bug_id="IB-223512",
+        reported_for="IB",
+        title="Views can be dropped with DROP TABLE",
+        script=script,
+        gate_features=(),
+        runnable_on=frozenset({"IB", "PG", "OR", "MS"}),
+        home_failure=(INC, NSE),
+        foreign_failures={"PG": (INC, NSE)},
+        identical_with=frozenset({"PG"}),
+        faults={"IB": [fault("IB")], "PG": [fault("PG")]},
+        notes="DDL bug: both servers accept DROP TABLE on a view.",
+    )
+
+
+def _ib_217042() -> BugReport:
+    p = "ib_217042"
+    script = ";\n".join(
+        [
+            f"CREATE TABLE {p}_t (a INTEGER DEFAULT 'ABC', b VARCHAR(10))",
+            f"INSERT INTO {p}_t (b) VALUES ('x')",
+        ]
+    ) + ";"
+    trigger = RelationTrigger([f"{p}_t"], kind="create_table")
+
+    def fault(server: str) -> FaultSpec:
+        return FaultSpec(
+            fault_id=f"{server}-217042",
+            description="DEFAULT values are not validated against the column type",
+            trigger=trigger,
+            effect=BehaviourFlagEffect("skip_default_type_validation"),
+            kind=INC,
+            detectability=NSE,
+            notes="Interbase report 217042(3); also present in MSSQL 7",
+        )
+
+    return BugReport(
+        bug_id="IB-217042",
+        reported_for="IB",
+        title="CREATE TABLE accepts a DEFAULT of the wrong type",
+        script=script,
+        gate_features=(),
+        runnable_on=frozenset({"IB", "PG", "OR", "MS"}),
+        home_failure=(INC, NSE),
+        foreign_failures={"MS": (INC, NSE)},
+        identical_with=frozenset({"MS"}),
+        faults={"IB": [fault("IB")], "MS": [fault("MS")]},
+        notes="Detected only later, when the default is first inserted.",
+    )
+
+
+def _ib_222476() -> BugReport:
+    p = "ib_222476"
+    script = ";\n".join(
+        [
+            f"CREATE TABLE {p}_s (grp VARCHAR(10), amount NUMERIC(8,2))",
+            f"INSERT INTO {p}_s (grp, amount) VALUES ('a', 10.00)",
+            f"INSERT INTO {p}_s (grp, amount) VALUES ('a', 14.00)",
+            f"INSERT INTO {p}_s (grp, amount) VALUES ('b', 6.50)",
+            f"SELECT AVG(amount), SUM(amount) FROM {p}_s",
+        ]
+    ) + ";"
+    select_trigger = RelationTrigger([f"{p}_s"], kind="select")
+    ib_fault = FaultSpec(
+        fault_id="IB-222476",
+        description="AVG and SUM results come back with empty field names",
+        trigger=select_trigger,
+        effect=BehaviourFlagEffect("empty_agg_field_names"),
+        kind=INC,
+        detectability=NSE,
+        notes="Interbase report 222476",
+    )
+    ms_fault = FaultSpec(
+        fault_id="MS-222476",
+        description="Aggregate query over this schema raises a spurious error",
+        trigger=select_trigger,
+        effect=ErrorEffect(
+            "Server: Msg 8155, Level 16: no column was specified for column 1"
+        ),
+        kind=INC,
+        detectability=SE,
+        notes="MSSQL manifestation of the shared aggregate-naming fault",
+    )
+    return BugReport(
+        bug_id="IB-222476",
+        reported_for="IB",
+        title="Empty field names for AVG and SUM",
+        script=script,
+        gate_features=(),
+        runnable_on=frozenset({"IB", "PG", "OR", "MS"}),
+        home_failure=(INC, NSE),
+        foreign_failures={"MS": (INC, SE)},
+        faults={"IB": [ib_fault], "MS": [ms_fault]},
+        notes="Clients building output from field names break on both.",
+    )
+
+
+def _pg_43() -> BugReport:
+    p = "pg_43"
+    script = ";\n".join(
+        [
+            f"CREATE TABLE {p}_product (id INTEGER PRIMARY KEY, name VARCHAR(30), "
+            f"price NUMERIC(8,2))",
+            f"CREATE TABLE {p}_product_special (product_id INTEGER, price NUMERIC(8,2), "
+            f"start_date DATE, end_date DATE)",
+            f"INSERT INTO {p}_product (id, name, price) VALUES (1, 'chair', 12.00)",
+            f"INSERT INTO {p}_product (id, name, price) VALUES (2, 'table', 45.00)",
+            f"INSERT INTO {p}_product (id, name, price) VALUES (3, 'lamp', 8.00)",
+            f"INSERT INTO {p}_product_special (product_id, price, start_date, end_date) "
+            f"VALUES (2, 40.00, '2000-09-01', '2000-09-30')",
+            # The paper's bug script: nested sub-queries with NOT IN over a UNION.
+            f"SELECT P.id AS id, P.name AS name FROM {p}_product P WHERE P.id IN "
+            f"(SELECT id FROM {p}_product WHERE price >= '9.00' AND price <= '50' "
+            f"AND id NOT IN ((SELECT product_id FROM {p}_product_special "
+            f"WHERE start_date <= '2000-9-6' AND end_date >= '2000-9-6') UNION "
+            f"(SELECT product_id AS id FROM {p}_product_special WHERE price >= '9.00' "
+            f"AND price <= '50' AND start_date <= '2000-9-6' AND end_date >= '2000-9-6')))",
+        ]
+    ) + ";"
+    trigger = TagTrigger(
+        required=["subquery.in", "set.union_in_subquery"]
+    ) & RelationTrigger([f"{p}_product"])
+    pg_fault = FaultSpec(
+        fault_id="PG-43",
+        description="Parse error on nested NOT IN over a UNION subquery",
+        trigger=trigger,
+        effect=ErrorEffect("ERROR: parser: parse error at or near 'IN'"),
+        kind=INC,
+        detectability=SE,
+        notes="PostgreSQL report 43",
+    )
+    ms_fault = FaultSpec(
+        fault_id="MS-43",
+        description="Mis-built parse tree for nested UNION subquery",
+        trigger=trigger,
+        effect=ErrorEffect(
+            "Server: Msg 170, Level 15: Line 1: Incorrect syntax near 'UNION'"
+        ),
+        kind=INC,
+        detectability=SE,
+        notes="MSSQL fails with a different pattern on the same script",
+    )
+    return BugReport(
+        bug_id="PG-43",
+        reported_for="PG",
+        title="Complex SELECT with nested sub-queries fails",
+        script=script,
+        gate_features=(),
+        runnable_on=frozenset({"IB", "PG", "OR", "MS"}),
+        home_failure=(INC, SE),
+        foreign_failures={"MS": (INC, SE)},
+        faults={"PG": [pg_fault], "MS": [ms_fault]},
+        notes="The two servers fail with different patterns (Section 5).",
+    )
+
+
+def _pg_77() -> BugReport:
+    p = "pg_77"
+    script = ";\n".join(
+        [
+            f"CREATE TABLE {p}_aux (id INTEGER PRIMARY KEY, tag VARCHAR(10))",
+            f"INSERT INTO {p}_aux (id, tag) VALUES (1, '  pad')",
+            f"SELECT LTRIM(tag) FROM {p}_aux",  # gate: PG/OR/MS only
+            f"CREATE TABLE {p}_num (k INTEGER PRIMARY KEY, x FLOAT, y FLOAT)",
+            f"INSERT INTO {p}_num (k, x, y) VALUES (1, 1.0, 3.0)",
+            f"INSERT INTO {p}_num (k, x, y) VALUES (2, 10.0, 7.0)",
+            f"SELECT k, x / y FROM {p}_num ORDER BY k",
+        ]
+    ) + ";"
+    trigger = RelationTrigger([f"{p}_num"], kind="select")
+
+    def fault(server: str) -> FaultSpec:
+        return FaultSpec(
+            fault_id=f"{server}-77",
+            description="Floating-point division loses precision",
+            # Identical skew in both products: the coincident failure is
+            # non-detectable by comparison (paper Table 3, PG+MS pair).
+            trigger=trigger,
+            effect=ValueSkewEffect(delta=1e-7, column=1),
+            kind=INC,
+            detectability=NSE,
+            notes="PostgreSQL report 77; arithmetic-related (Section 5)",
+        )
+
+    return BugReport(
+        bug_id="PG-77",
+        reported_for="PG",
+        title="Arithmetic precision problem",
+        script=script,
+        gate_features=("fn.LTRIM",),
+        runnable_on=frozenset({"PG", "OR", "MS"}),
+        home_failure=(INC, NSE),
+        foreign_failures={"MS": (INC, NSE)},
+        identical_with=frozenset({"MS"}),
+        faults={"PG": [fault("PG")], "MS": [fault("MS")]},
+    )
+
+
+def _or_1059835() -> BugReport:
+    p = "or_1059835"
+    script = ";\n".join(
+        [
+            f"CREATE TABLE {p}_m (k INTEGER PRIMARY KEY, v NUMBER(10,4))",
+            f"INSERT INTO {p}_m (k, v) VALUES (1, 10.5000)",
+            f"INSERT INTO {p}_m (k, v) VALUES (2, 7.2500)",
+            f"SELECT k, MOD(v, 3) FROM {p}_m ORDER BY k",
+        ]
+    ) + ";"
+    or_fault = FaultSpec(
+        fault_id="OR-1059835",
+        description="MOD loses precision for non-integer operands",
+        trigger=RelationTrigger([f"{p}_m"]),
+        effect=BehaviourFlagEffect("mod_precision_bug"),
+        kind=INC,
+        detectability=NSE,
+        notes="Oracle report 1059835 (Section 5, arithmetic-related)",
+    )
+    pg_fault = FaultSpec(
+        fault_id="PG-1059835",
+        description="MOD drifts differently for decimal operands",
+        trigger=RelationTrigger([f"{p}_m"], kind="select"),
+        effect=ValueSkewEffect(delta=3e-7, column=1),
+        kind=INC,
+        detectability=NSE,
+        notes="Different incorrect value than Oracle's: detectable by comparison",
+    )
+    return BugReport(
+        bug_id="OR-1059835",
+        reported_for="OR",
+        title="MOD operator precision bug",
+        script=script,
+        gate_features=("fn.MOD",),
+        runnable_on=frozenset({"PG", "OR"}),
+        home_failure=(INC, NSE),
+        foreign_failures={"PG": (INC, NSE)},
+        faults={"OR": [or_fault], "PG": [pg_fault]},
+    )
+
+
+def _ms_58544() -> BugReport:
+    p = "ms_58544"
+    script = ";\n".join(
+        [
+            f"CREATE TABLE {p}_orders (id INTEGER PRIMARY KEY, cust VARCHAR(20), "
+            f"item VARCHAR(20))",
+            f"INSERT INTO {p}_orders (id, cust, item) VALUES (1, 'ann', 'pen')",
+            f"INSERT INTO {p}_orders (id, cust, item) VALUES (2, 'ann', 'ink')",
+            f"INSERT INTO {p}_orders (id, cust, item) VALUES (3, 'bob', 'pen')",
+            f"INSERT INTO {p}_orders (id, cust, item) VALUES (4, 'cat', 'pad')",
+            f"CREATE VIEW {p}_names AS SELECT DISTINCT cust FROM {p}_orders",
+            f"SELECT v.cust, o.item FROM {p}_names v LEFT OUTER JOIN {p}_orders o "
+            f"ON v.cust = o.cust ORDER BY v.cust, o.item",
+        ]
+    ) + ";"
+    trigger = TagTrigger(required=["join.left", "view.distinct_used"]) & RelationTrigger(
+        [f"{p}_names"]
+    )
+
+    def fault(server: str) -> FaultSpec:
+        return FaultSpec(
+            fault_id=f"{server}-58544",
+            description="LEFT OUTER JOIN on a DISTINCT view drops result rows",
+            trigger=trigger,
+            effect=RowDropEffect(keep_one_in=3),
+            kind=INC,
+            detectability=NSE,
+            notes="MSSQL report 58544; identical wrong rows in Interbase",
+        )
+
+    return BugReport(
+        bug_id="MS-58544",
+        reported_for="MS",
+        title="LEFT OUTER JOIN on a view using DISTINCT",
+        script=script,
+        gate_features=("join.left",),
+        runnable_on=frozenset({"IB", "OR", "MS"}),
+        home_failure=(INC, NSE),
+        foreign_failures={"IB": (INC, NSE)},
+        identical_with=frozenset({"IB"}),
+        faults={"MS": [fault("MS")], "IB": [fault("IB")]},
+    )
+
+
+#: The five MSSQL clustered-index bug reports; each has its own MSSQL
+#: manifestation, while PostgreSQL fails all five scripts (and 56775's)
+#: through one shared fault — see pg_clustered_index_fault().
+_CLUSTERED_EFFECTS = {
+    "54428": (RowDropEffect(keep_one_in=2), "spurious primary-key constraint drops rows"),
+    "56516": (RowDuplicateEffect(every=2), "clustered scan returns duplicate rows"),
+    "58158": (ValueSkewEffect(delta=1.0, column=1), "clustered lookup returns shifted values"),
+    "58253": (RowDropEffect(keep_one_in=2, offset=1), "range scan over clustered index loses rows"),
+    "351180": (RowDuplicateEffect(every=3), "merge over clustered index repeats rows"),
+}
+
+
+def _ms_clustered(report_id: str) -> BugReport:
+    p = f"ms_{report_id}"
+    script = ";\n".join(
+        [
+            f"CREATE TABLE {p}_t (id INTEGER PRIMARY KEY, val INTEGER)",
+            f"INSERT INTO {p}_t (id, val) VALUES (1, 100)",
+            f"INSERT INTO {p}_t (id, val) VALUES (2, 200)",
+            f"INSERT INTO {p}_t (id, val) VALUES (3, 300)",
+            f"INSERT INTO {p}_t (id, val) VALUES (4, 400)",
+            f"CREATE CLUSTERED INDEX {p}_cx ON {p}_t (id)",
+            f"SELECT id, val FROM {p}_t WHERE id > 0 ORDER BY id",
+        ]
+    ) + ";"
+    effect, description = _CLUSTERED_EFFECTS[report_id]
+    ms_fault = FaultSpec(
+        fault_id=f"MS-{report_id}",
+        description=description,
+        trigger=RelationTrigger([f"{p}_t"], kind="select"),
+        effect=effect,
+        kind=INC,
+        detectability=NSE,
+        notes=f"MSSQL report {report_id} (clustered-index family)",
+    )
+    return BugReport(
+        bug_id=f"MS-{report_id}",
+        reported_for="MS",
+        title=f"Clustered-index misbehaviour (report {report_id})",
+        script=script,
+        gate_features=("index.clustered",),
+        runnable_on=frozenset({"PG", "MS"}),
+        home_failure=(INC, NSE),
+        foreign_failures={"PG": (INC, SE)},
+        faults={"MS": [ms_fault]},
+        notes="PostgreSQL fails at the start of the script (shared PG fault).",
+    )
+
+
+def _ms_56775() -> BugReport:
+    p = "ms_56775"
+    script = ";\n".join(
+        [
+            f"CREATE TABLE {p}_t (id INTEGER PRIMARY KEY, val INTEGER)",
+            f"INSERT INTO {p}_t (id, val) VALUES (1, 10)",
+            f"INSERT INTO {p}_t (id, val) VALUES (2, 20)",
+            f"INSERT INTO {p}_t (id, val) VALUES (3, 30)",
+            f"CREATE CLUSTERED INDEX {p}_cx ON {p}_t (id)",
+            f"SELECT id, val FROM {p}_t WHERE val > 5 ORDER BY id",
+        ]
+    ) + ";"
+    ms_fault = FaultSpec(
+        fault_id="MS-56775",
+        description="Occasional wrong rows under concurrent load (Heisenbug)",
+        trigger=RelationTrigger([f"{p}_t"], kind="select"),
+        effect=RowDropEffect(keep_one_in=2),
+        kind=INC,
+        detectability=NSE,
+        heisenbug=True,
+        notes="MSSQL report 56775: no failure on re-run in MSSQL itself",
+    )
+    return BugReport(
+        bug_id="MS-56775",
+        reported_for="MS",
+        title="Heisenbug in MSSQL that deterministically fails PostgreSQL",
+        script=script,
+        gate_features=("index.clustered",),
+        runnable_on=frozenset({"PG", "MS"}),
+        home_failure=None,
+        foreign_failures={"PG": (INC, SE)},
+        heisenbug=True,
+        faults={"MS": [ms_fault]},
+        notes="Fails PG at CREATE CLUSTERED INDEX via the shared PG fault.",
+    )
+
+
+def pg_clustered_index_fault() -> FaultSpec:
+    """PostgreSQL 7.0.0's clustered-index bug (fixed in 7.0.3).
+
+    One PostgreSQL fault whose failure region covers all six MSSQL
+    clustered-index bug scripts: every ``CREATE CLUSTERED INDEX`` in the
+    corpus fails with a self-evident error at the beginning of the
+    script, matching Section 5's account.
+    """
+    return FaultSpec(
+        fault_id="PG-CLUSTERED-INDEX",
+        description="CREATE CLUSTERED INDEX fails with a spurious error",
+        trigger=TagTrigger(required=["index.clustered"], kind="create_index"),
+        effect=ErrorEffect("ERROR: cannot create clustered index: internal error"),
+        kind=INC,
+        detectability=SE,
+        notes="Known PostgreSQL 7.0.0 bug, corrected in 7.0.3 (Section 5)",
+    )
+
+
+def notable_bugs() -> list[BugReport]:
+    """All 13 Section-5 bugs, in a stable order."""
+    return [
+        _ib_223512(),
+        _ib_217042(),
+        _ib_222476(),
+        _pg_43(),
+        _pg_77(),
+        _or_1059835(),
+        _ms_58544(),
+        _ms_clustered("54428"),
+        _ms_clustered("56516"),
+        _ms_clustered("58158"),
+        _ms_clustered("58253"),
+        _ms_clustered("351180"),
+        _ms_56775(),
+    ]
+
+
+#: Which ground-truth cell each notable bug occupies:
+#: bug id -> (reported server, group short-name).
+NOTABLE_CELLS: dict[str, tuple[str, str]] = {
+    "IB-223512": ("IB", "IPOM"),
+    "IB-217042": ("IB", "IPOM"),
+    "IB-222476": ("IB", "IPOM"),
+    "PG-43": ("PG", "IPOM"),
+    "PG-77": ("PG", "POM"),
+    "OR-1059835": ("OR", "PO"),
+    "MS-58544": ("MS", "IOM"),
+    "MS-54428": ("MS", "PM"),
+    "MS-56516": ("MS", "PM"),
+    "MS-58158": ("MS", "PM"),
+    "MS-58253": ("MS", "PM"),
+    "MS-351180": ("MS", "PM"),
+    "MS-56775": ("MS", "PM"),
+}

@@ -1,0 +1,102 @@
+"""Bug-script construction.
+
+Every generated bug script follows the shape of the study's real bug
+scripts: set up a small schema, populate it, exercise the (possibly
+dialect-specific) feature under test, then run the *probe* statements
+whose behaviour the bug distorts.  Each script uses tables named after
+its bug id, which is what scopes the seeded fault to exactly this
+script (its "failure region").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def probe_table(prefix: str) -> str:
+    """Name of the probe table the bug's fault triggers on."""
+    return f"{prefix}_probe"
+
+
+#: SQL fragments exercising each gated dialect feature, parameterised by
+#: the bug's table prefix.  Each returns a list of statements.
+def _feature_statements(prefix: str, feature: str) -> list[str]:
+    a = f"{prefix}_a"
+    if feature == "op.concat":
+        return [f"SELECT name || '-tag' FROM {a}"]
+    if feature == "fn.CHAR_LENGTH":
+        return [f"SELECT CHAR_LENGTH(name) FROM {a}"]
+    if feature == "join.left":
+        return [
+            f"SELECT x.id, y.id FROM {a} x LEFT OUTER JOIN {a} y ON x.id = y.qty"
+        ]
+    if feature == "view.union":
+        return [
+            f"CREATE VIEW {prefix}_vu AS "
+            f"SELECT id FROM {a} UNION SELECT qty FROM {a}",
+            f"SELECT * FROM {prefix}_vu ORDER BY 1",
+        ]
+    if feature == "clause.case":
+        return [f"SELECT CASE WHEN qty > 6 THEN 'many' ELSE 'few' END FROM {a}"]
+    if feature == "fn.LTRIM":
+        return [f"SELECT LTRIM(name) FROM {a}"]
+    if feature == "fn.MOD":
+        return [f"SELECT MOD(qty, 4) FROM {a}"]
+    if feature == "op.modulo":
+        return [f"SELECT qty % 4 FROM {a}"]
+    if feature == "index.clustered":
+        return [f"CREATE CLUSTERED INDEX {prefix}_cx ON {a} (id)"]
+    if feature == "fn.CONVERT":
+        return [f"SELECT CONVERT(price, 'VARCHAR') FROM {a}"]
+    if feature == "fn.GEN_ID":
+        return [f"SELECT GEN_ID(qty, 1) FROM {a}"]
+    if feature == "clause.limit":
+        return [f"SELECT id FROM {a} ORDER BY id LIMIT 2"]
+    if feature == "fn.DECODE":
+        return [f"SELECT DECODE(name, 'alpha', 1, 0) FROM {a}"]
+    if feature == "fn.GETDATE":
+        return [f"SELECT id, GETDATE() FROM {a}"]
+    if feature in ("type.TEXT", "type.DATETIME"):
+        return []  # expressed in the CREATE TABLE column list instead
+    raise ValueError(f"no script fragment for feature {feature!r}")
+
+
+def build_generic_script(
+    prefix: str, features: Iterable[str], *, oracle_spelling: bool = False
+) -> str:
+    """A full bug script for a generated (non-notable) bug report.
+
+    ``oracle_spelling=True`` writes the schema with Oracle's native type
+    spellings (``VARCHAR2``/``NUMBER``), exercising the translator.
+    """
+    features = list(features)
+    varchar = "VARCHAR2" if oracle_spelling else "VARCHAR"
+    numeric = "NUMBER" if oracle_spelling else "NUMERIC"
+    extra_columns = ""
+    if "type.TEXT" in features:
+        extra_columns += ", notes TEXT"
+    if "type.DATETIME" in features:
+        extra_columns += ", stamp DATETIME"
+    statements = [
+        f"CREATE TABLE {prefix}_a (id INTEGER PRIMARY KEY, name {varchar}(30), "
+        f"price {numeric}(8,2), qty INTEGER{extra_columns})",
+        f"INSERT INTO {prefix}_a (id, name, price, qty) VALUES (1, 'alpha', 10.50, 5)",
+        f"INSERT INTO {prefix}_a (id, name, price, qty) VALUES (2, 'beta', 3.25, 12)",
+        f"INSERT INTO {prefix}_a (id, name, price, qty) VALUES (3, 'gamma', 7.00, 9)",
+    ]
+    for feature in features:
+        statements.extend(_feature_statements(prefix, feature))
+    probe = probe_table(prefix)
+    statements.extend(
+        [
+            f"CREATE TABLE {probe} (id INTEGER PRIMARY KEY, val INTEGER, "
+            f"label {varchar}(20))",
+            f"INSERT INTO {probe} (id, val, label) VALUES (1, 10, 'one')",
+            f"INSERT INTO {probe} (id, val, label) VALUES (2, 20, 'two')",
+            f"INSERT INTO {probe} (id, val, label) VALUES (3, 30, 'three')",
+            f"INSERT INTO {probe} (id, val, label) VALUES (4, 40, 'four')",
+            f"SELECT id, val, label FROM {probe} WHERE val > 5 ORDER BY id",
+            f"UPDATE {probe} SET val = val + 1 WHERE val > 5",
+        ]
+    )
+    return ";\n".join(statements) + ";"

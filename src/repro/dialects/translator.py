@@ -1,0 +1,113 @@
+"""Mechanical script translation between server dialects.
+
+``translate_script`` does what the study's authors did by hand:
+
+1. parse the script and extract its feature traits;
+2. if the target dialect lacks a *gated* feature the script needs,
+   give up — the script is dialect-specific for that server
+   (:class:`~repro.errors.FeatureNotSupported`);
+3. otherwise rewrite synonym-level spellings (type names, function
+   names) into the target dialect and re-render the script.
+
+The rewrite works on the token stream, so comments vanish and spacing
+normalises, but string literals and quoted identifiers survive exactly.
+"""
+
+from __future__ import annotations
+
+from repro.dialects.features import DialectDescriptor, dialect
+from repro.sqlengine.analysis import script_traits
+from repro.sqlengine.parser import parse_script
+from repro.sqlengine.tokens import Token, TokenKind
+from repro.sqlengine.lexer import tokenize
+
+
+def translate_script(sql: str, target: str | DialectDescriptor) -> str:
+    """Translate ``sql`` into the dialect of server ``target``.
+
+    Raises
+    ------
+    FeatureNotSupported
+        When the script uses a gated feature the target lacks — the
+        study's "bug script cannot be run (functionality missing)".
+    ParseError / LexError
+        When the script is not valid superset SQL.
+    """
+    descriptor = target if isinstance(target, DialectDescriptor) else dialect(target)
+    statements = parse_script(sql)
+    traits = script_traits(statements)
+    descriptor.validate(None, traits)
+    tokens = tokenize(sql)
+    return render_tokens(_rewrite(tokens, descriptor))
+
+
+def _rewrite(tokens: list[Token], descriptor: DialectDescriptor) -> list[Token]:
+    result: list[Token] = []
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token.kind is TokenKind.IDENTIFIER:
+            upper = token.value.upper()
+            nxt = tokens[index + 1] if index + 1 < len(tokens) else None
+            # Two-word type spellings (DOUBLE PRECISION, CHARACTER VARYING).
+            if nxt is not None and nxt.kind is TokenKind.IDENTIFIER:
+                two_word = f"{upper} {nxt.value.upper()}"
+                if two_word in descriptor.type_renames:
+                    result.append(_replace(token, descriptor.type_renames[two_word]))
+                    index += 2
+                    continue
+            is_call = (
+                nxt is not None and nxt.kind is TokenKind.PUNCT and nxt.value == "("
+            )
+            if is_call and upper in descriptor.function_renames:
+                result.append(_replace(token, descriptor.function_renames[upper]))
+                index += 1
+                continue
+            # Type spellings may be parenthesised (VARCHAR2(10)), so the
+            # rename applies whether or not a '(' follows.
+            if upper in descriptor.type_renames:
+                result.append(_replace(token, descriptor.type_renames[upper]))
+                index += 1
+                continue
+        result.append(token)
+        index += 1
+    return result
+
+
+def _replace(token: Token, value: str) -> Token:
+    return Token(token.kind, value, token.position, token.line)
+
+
+_NO_SPACE_BEFORE = {",", ")", ";", "."}
+_NO_SPACE_AFTER = {"(", "."}
+
+
+def render_tokens(tokens: list[Token]) -> str:
+    """Render a token list back to SQL text."""
+    parts: list[str] = []
+    previous: Token | None = None
+    for token in tokens:
+        if token.kind is TokenKind.EOF:
+            break
+        text = _token_text(token)
+        if parts and not (
+            (token.kind is TokenKind.PUNCT and token.value in _NO_SPACE_BEFORE)
+            or (
+                previous is not None
+                and previous.kind is TokenKind.PUNCT
+                and previous.value in _NO_SPACE_AFTER
+            )
+        ):
+            parts.append(" ")
+        parts.append(text)
+        previous = token
+    return "".join(parts)
+
+
+def _token_text(token: Token) -> str:
+    if token.kind is TokenKind.STRING:
+        escaped = token.value.replace("'", "''")
+        return f"'{escaped}'"
+    if token.kind is TokenKind.QUOTED_IDENTIFIER:
+        return f'"{token.value}"'
+    return token.value

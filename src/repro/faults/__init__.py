@@ -1,0 +1,51 @@
+"""Fault-injection framework.
+
+A *fault* is a named behaviour mutation seeded into a simulated server
+product.  Faults have a trigger (when does it fire), an effect (what
+does it do), and an activation model (Bohrbug: always when triggered;
+Heisenbug: only under stress, probabilistically) — mirroring the
+terminology of Gray (1987) the paper adopts.
+
+Public surface:
+
+* :class:`~repro.faults.spec.FaultSpec` and the
+  :class:`~repro.faults.spec.FailureKind` /
+  :class:`~repro.faults.spec.Detectability` enums
+* trigger combinators in :mod:`repro.faults.triggers`
+* effect classes in :mod:`repro.faults.effects`
+* :class:`~repro.faults.injector.FaultInjector` — plugged into an
+  :class:`~repro.sqlengine.engine.Engine`
+"""
+
+from repro.faults.effects import (
+    BehaviourFlagEffect,
+    CrashEffect,
+    ErrorEffect,
+    PerformanceEffect,
+    RowDropEffect,
+    RowDuplicateEffect,
+    RowcountSkewEffect,
+    ValueSkewEffect,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import Detectability, FailureKind, FaultSpec
+from repro.faults.triggers import AlwaysTrigger, RelationTrigger, SqlPatternTrigger, TagTrigger
+
+__all__ = [
+    "AlwaysTrigger",
+    "BehaviourFlagEffect",
+    "CrashEffect",
+    "Detectability",
+    "ErrorEffect",
+    "FailureKind",
+    "FaultInjector",
+    "FaultSpec",
+    "PerformanceEffect",
+    "RelationTrigger",
+    "RowDropEffect",
+    "RowDuplicateEffect",
+    "RowcountSkewEffect",
+    "SqlPatternTrigger",
+    "TagTrigger",
+    "ValueSkewEffect",
+]

@@ -1,0 +1,80 @@
+"""Fault-catalog auditing.
+
+Cross-checks a server's seeded fault catalog against an executed study:
+which faults fired, on which bug scripts, with what classification —
+and, crucially, which faults *never* fired (dead faults indicate a bug
+script or trigger drifting out of sync).  The corpus test-suite keeps
+the audit clean; downstream users extending the corpus get the same
+guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bugs.corpus import Corpus
+from repro.dialects.features import SERVER_KEYS
+from repro.study.runner import StudyResult
+
+
+@dataclass
+class FaultAuditEntry:
+    """Audit record for one seeded fault."""
+
+    fault_id: str
+    server: str
+    description: str
+    heisenbug: bool
+    fired_on_bugs: list[str] = field(default_factory=list)
+
+    @property
+    def dead(self) -> bool:
+        """A non-Heisenbug fault that never fired anywhere."""
+        return not self.heisenbug and not self.fired_on_bugs
+
+
+def audit_faults(study: StudyResult) -> dict[str, list[FaultAuditEntry]]:
+    """Audit every server's catalog against the study's fired faults."""
+    corpus = study.corpus
+    audit: dict[str, list[FaultAuditEntry]] = {}
+    for server in SERVER_KEYS:
+        entries = {
+            fault.fault_id: FaultAuditEntry(
+                fault_id=fault.fault_id,
+                server=server,
+                description=fault.description,
+                heisenbug=fault.heisenbug,
+            )
+            for fault in corpus.faults_for(server)
+        }
+        for report in corpus:
+            cell = study.cells.get((report.bug_id, server))
+            if cell is None:
+                continue
+            for fault_id in cell.fired_faults:
+                if fault_id in entries:
+                    entries[fault_id].fired_on_bugs.append(report.bug_id)
+        audit[server] = sorted(entries.values(), key=lambda entry: entry.fault_id)
+    return audit
+
+
+def dead_faults(study: StudyResult) -> list[FaultAuditEntry]:
+    """Non-Heisenbug faults that never fired — corpus drift indicators."""
+    return [
+        entry
+        for entries in audit_faults(study).values()
+        for entry in entries
+        if entry.dead
+    ]
+
+
+def shared_fault_coverage(study: StudyResult) -> dict[str, int]:
+    """How many distinct bug scripts each multi-script fault covered
+    (e.g. the PostgreSQL clustered-index fault spans six scripts)."""
+    coverage: dict[str, int] = {}
+    for entries in audit_faults(study).values():
+        for entry in entries:
+            if len(entry.fired_on_bugs) > 1:
+                coverage[entry.fault_id] = len(set(entry.fired_on_bugs))
+    return coverage

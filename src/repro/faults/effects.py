@@ -1,0 +1,217 @@
+"""Fault effects: what a fault does when it fires.
+
+Effects run at one of three hook points:
+
+* ``before`` — may raise (crashes, spurious errors) before the engine
+  touches the statement;
+* ``after`` — may distort the already-computed result (wrong rows,
+  inflated cost, skewed metadata);
+* ``flag`` — never fires on its own; instead the engine consults the
+  flag by name at a semantic decision point (e.g. "do I validate
+  DEFAULT types?"), which is how deep semantic bugs are modelled
+  without forking the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import EngineCrash, SqlError
+
+
+class Effect:
+    """Base effect."""
+
+    phase = "after"  # 'before' | 'after' | 'flag'
+
+    def apply_before(self, ctx) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def apply_after(self, ctx, result):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class CrashEffect(Effect):
+    """Halt the engine: the paper's *engine crash* failure class."""
+
+    phase = "before"
+
+    def __init__(self, detail: str = "assertion failure in query processor") -> None:
+        self.detail = detail
+
+    def apply_before(self, ctx) -> None:
+        raise EngineCrash(ctx.engine.name, self.detail)
+
+
+class ErrorEffect(Effect):
+    """Raise a spurious SQL error: a *self-evident* failure.
+
+    Models bugs where the server rejects valid SQL (e.g. PostgreSQL
+    report 43's parse error on a nested UNION subquery).
+    """
+
+    phase = "before"
+
+    def __init__(self, message: str, code: str = "spurious") -> None:
+        self.message = message
+        self.code = code
+
+    def apply_before(self, ctx) -> None:
+        raise SqlError(self.message, code=self.code)
+
+
+class LateErrorEffect(Effect):
+    """Raise an SQL error *after* execution (partial work then error)."""
+
+    phase = "after"
+
+    def __init__(self, message: str, code: str = "spurious") -> None:
+        self.message = message
+        self.code = code
+
+    def apply_after(self, ctx, result):
+        raise SqlError(self.message, code=self.code)
+
+
+class RowDropEffect(Effect):
+    """Silently drop result rows: a non-self-evident incorrect result."""
+
+    def __init__(self, keep_one_in: int = 2, offset: int = 0) -> None:
+        if keep_one_in < 1:
+            raise ValueError("keep_one_in must be >= 1")
+        self.keep_one_in = keep_one_in
+        self.offset = offset
+
+    def apply_after(self, ctx, result):
+        if result.kind != "select" or not result.rows:
+            return result
+        kept = [
+            row
+            for index, row in enumerate(result.rows)
+            if (index + self.offset) % self.keep_one_in != 0
+        ]
+        if not kept and result.rows:
+            kept = result.rows[1:] or result.rows[:-1]
+        result.rows = kept
+        result.rowcount = len(kept)
+        return result
+
+
+class RowDuplicateEffect(Effect):
+    """Duplicate result rows (e.g. botched DISTINCT elimination)."""
+
+    def __init__(self, every: int = 1) -> None:
+        self.every = max(every, 1)
+
+    def apply_after(self, ctx, result):
+        if result.kind != "select" or not result.rows:
+            return result
+        rows: list[tuple] = []
+        for index, row in enumerate(result.rows):
+            rows.append(row)
+            if index % self.every == 0:
+                rows.append(row)
+        result.rows = rows
+        result.rowcount = len(rows)
+        return result
+
+
+class ValueSkewEffect(Effect):
+    """Distort numeric output values: arithmetic-precision bug family.
+
+    ``delta`` is added to every numeric value in the selected column
+    (or all numeric values when ``column`` is None).  A tiny delta
+    models precision loss; a large one models outright miscomputation.
+    """
+
+    def __init__(self, delta: float = 1e-7, column: Optional[int] = None) -> None:
+        self.delta = delta
+        self.column = column
+
+    def apply_after(self, ctx, result):
+        if result.kind != "select":
+            return result
+
+        def skew(value: Any) -> Any:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                if value is not None and type(value).__name__ == "Decimal":
+                    return float(value) + self.delta
+                return value
+            return value + self.delta if isinstance(value, float) else float(value) + self.delta
+
+        rows: list[tuple] = []
+        for row in result.rows:
+            if self.column is None:
+                rows.append(tuple(skew(value) for value in row))
+            else:
+                items = list(row)
+                if 0 <= self.column < len(items):
+                    items[self.column] = skew(items[self.column])
+                rows.append(tuple(items))
+        result.rows = rows
+        return result
+
+
+class PerformanceEffect(Effect):
+    """Inflate the virtual execution cost: a *performance* failure.
+
+    The study classifier compares ``virtual_cost`` against a threshold,
+    so no wall-clock sleeping is needed.
+    """
+
+    def __init__(self, factor: float = 1000.0) -> None:
+        if factor <= 1.0:
+            raise ValueError("a performance fault must inflate cost")
+        self.factor = factor
+
+    def apply_after(self, ctx, result):
+        result.virtual_cost *= self.factor
+        return result
+
+
+class RowcountSkewEffect(Effect):
+    """Report a wrong rowcount while returning correct rows.
+
+    Models the paper's "Other" failure class: anomalies that are not
+    wrong data, crashes, or slowness (e.g. bogus status information).
+    """
+
+    def __init__(self, delta: int = 1) -> None:
+        self.delta = delta
+
+    def apply_after(self, ctx, result):
+        result.rowcount = max(result.rowcount + self.delta, 0)
+        return result
+
+
+class MutateColumnNamesEffect(Effect):
+    """Blank or mangle result column names (e.g. Interbase 222476)."""
+
+    def __init__(self, rename: Callable[[str], str] = lambda name: "") -> None:
+        self.rename = rename
+
+    def apply_after(self, ctx, result):
+        if result.kind == "select":
+            result.columns = [self.rename(name) for name in result.columns]
+        return result
+
+
+class BehaviourFlagEffect(Effect):
+    """Expose a named behaviour flag the engine consults internally.
+
+    The fault does nothing at the statement hook points; instead
+    ``Engine`` components ask ``ctx.flag(name)`` at semantic decision
+    points (DEFAULT validation, DROP TABLE on views, aggregate column
+    naming, MOD precision, ...).
+    """
+
+    phase = "flag"
+
+    def __init__(self, flag: str) -> None:
+        self.flag = flag
+
+    def apply_before(self, ctx) -> None:  # pragma: no cover - never called
+        return None
+
+    def apply_after(self, ctx, result):  # pragma: no cover - never called
+        return result

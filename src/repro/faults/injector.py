@@ -1,0 +1,160 @@
+"""The fault injector: the engine's window into a server's fault catalog."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.faults.effects import BehaviourFlagEffect
+from repro.faults.spec import FaultSpec
+
+
+@dataclass
+class FaultActivation:
+    """A record of one fault firing (for study verification and stats)."""
+
+    fault_id: str
+    statement_kind: str
+    sql: str
+    phase: str
+
+
+class FaultInjector:
+    """Holds a server's seeded faults and applies them at engine hooks.
+
+    Implements the hook protocol of
+    :class:`repro.sqlengine.engine.NullInjector`:
+    ``before_statement`` / ``after_statement`` / ``flag``.
+
+    Heisenbugs never activate in normal mode — re-running their bug
+    script shows no failure, exactly how the study classified them.
+    Under :attr:`stress_mode` (the Section 3.2 "more stressful simulated
+    environment") each triggered Heisenbug activates with its
+    ``stress_activation`` probability, drawn from a seeded RNG so runs
+    are reproducible.
+    """
+
+    def __init__(
+        self,
+        server_name: str,
+        faults: Iterable[FaultSpec] = (),
+        *,
+        seed: int = 0,
+        stress_mode: bool = False,
+    ) -> None:
+        self.server_name = server_name
+        self._faults: dict[str, FaultSpec] = {}
+        self._rng = random.Random(seed)
+        self.stress_mode = stress_mode
+        self.activations: list[FaultActivation] = []
+        self.activation_counts: dict[str, int] = {}
+        for fault in faults:
+            self.add(fault)
+
+    # -- catalog management --------------------------------------------------
+
+    def add(self, fault: FaultSpec) -> None:
+        if fault.fault_id in self._faults:
+            raise ValueError(f"duplicate fault id {fault.fault_id!r}")
+        self._faults[fault.fault_id] = fault
+
+    def remove(self, fault_id: str) -> None:
+        self._faults.pop(fault_id, None)
+
+    def get(self, fault_id: str) -> FaultSpec:
+        return self._faults[fault_id]
+
+    def faults(self) -> list[FaultSpec]:
+        return list(self._faults.values())
+
+    def enable(self, fault_id: str) -> None:
+        self._faults[fault_id].enabled = True
+
+    def disable(self, fault_id: str) -> None:
+        self._faults[fault_id].enabled = False
+
+    def disable_all(self) -> None:
+        for fault in self._faults.values():
+            fault.enabled = False
+
+    def enable_all(self) -> None:
+        for fault in self._faults.values():
+            fault.enabled = True
+
+    def reset_history(self) -> None:
+        self.activations.clear()
+        self.activation_counts.clear()
+
+    # -- engine hook protocol ---------------------------------------------------
+
+    def flag(self, name: str, ctx: Optional[object] = None) -> bool:
+        """True when an enabled behaviour-flag fault exposes ``name``.
+
+        The fault's trigger is consulted when a context is available, so
+        flag faults can be scoped (e.g. only for statements touching a
+        bug script's tables).
+        """
+        for fault in self._faults.values():
+            if not fault.enabled:
+                continue
+            effect = fault.effect
+            if not isinstance(effect, BehaviourFlagEffect) or effect.flag != name:
+                continue
+            if ctx is not None and not fault.trigger.matches(ctx):
+                continue
+            if not self._activates(fault):
+                continue
+            self._record(fault, ctx, phase="flag")
+            return True
+        return False
+
+    def before_statement(self, ctx) -> None:
+        for fault in self._active_faults(ctx, phase="before"):
+            self._record(fault, ctx, phase="before")
+            fault.effect.apply_before(ctx)
+
+    def after_statement(self, ctx, result):
+        for fault in self._active_faults(ctx, phase="after"):
+            self._record(fault, ctx, phase="after")
+            result = fault.effect.apply_after(ctx, result)
+        return result
+
+    # -- internals ------------------------------------------------------------
+
+    def _active_faults(self, ctx, phase: str):
+        for fault in self._faults.values():
+            if not fault.enabled or fault.effect.phase != phase:
+                continue
+            if not fault.trigger.matches(ctx):
+                continue
+            if not self._activates(fault):
+                continue
+            yield fault
+
+    def _activates(self, fault: FaultSpec) -> bool:
+        if not fault.heisenbug:
+            return True
+        if not self.stress_mode:
+            return False
+        return self._rng.random() < fault.stress_activation
+
+    _MAX_ACTIVATION_LOG = 10_000
+
+    def _record(self, fault: FaultSpec, ctx, phase: str) -> None:
+        self.activation_counts[fault.fault_id] = (
+            self.activation_counts.get(fault.fault_id, 0) + 1
+        )
+        if len(self.activations) < self._MAX_ACTIVATION_LOG:
+            self.activations.append(
+                FaultActivation(
+                    fault_id=fault.fault_id,
+                    statement_kind=getattr(getattr(ctx, "traits", None), "kind", "?"),
+                    sql=getattr(ctx, "sql", ""),
+                    phase=phase,
+                )
+            )
+
+    @property
+    def fired_fault_ids(self) -> set[str]:
+        return set(self.activation_counts)

@@ -1,0 +1,131 @@
+"""Trigger predicates: when does a fault fire?
+
+A trigger inspects the :class:`~repro.sqlengine.engine.ExecutionContext`
+of the statement being executed.  Triggers compose with ``&`` and ``|``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+
+class Trigger:
+    """Base trigger; subclasses implement :meth:`matches`."""
+
+    def matches(self, ctx) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __and__(self, other: "Trigger") -> "Trigger":
+        return AllOf((self, other))
+
+    def __or__(self, other: "Trigger") -> "Trigger":
+        return AnyOf((self, other))
+
+
+class AlwaysTrigger(Trigger):
+    """Fires on every statement (used for behaviour-flag faults)."""
+
+    def matches(self, ctx) -> bool:
+        return True
+
+
+class NeverTrigger(Trigger):
+    """Never fires (placeholder for disabled behaviour)."""
+
+    def matches(self, ctx) -> bool:
+        return False
+
+
+class TagTrigger(Trigger):
+    """Fires when the statement's trait tags match.
+
+    ``required`` tags must all be present; if ``any_of`` is non-empty at
+    least one of those must be present too; ``forbidden`` tags must all
+    be absent.  Dynamic tags (``view.distinct_used`` ...) participate.
+    """
+
+    def __init__(
+        self,
+        required: Iterable[str] = (),
+        any_of: Iterable[str] = (),
+        forbidden: Iterable[str] = (),
+        kind: str | None = None,
+    ) -> None:
+        self.required = frozenset(required)
+        self.any_of = frozenset(any_of)
+        self.forbidden = frozenset(forbidden)
+        self.kind = kind
+
+    def matches(self, ctx) -> bool:
+        tags = ctx.all_tags
+        if self.kind is not None and ctx.traits.kind != self.kind:
+            return False
+        if not self.required <= tags:
+            return False
+        if self.any_of and not (self.any_of & tags):
+            return False
+        if self.forbidden & tags:
+            return False
+        return True
+
+
+class RelationTrigger(Trigger):
+    """Fires when the statement references one of the given relations.
+
+    Bug scripts in the generated corpus use per-bug table names
+    (``t<bug id>_...``), so a relation trigger scopes a generic fault to
+    exactly its bug script — the "failure region" of that bug.
+    """
+
+    def __init__(self, names: Iterable[str], kind: str | None = None) -> None:
+        self.names = frozenset(name.lower() for name in names)
+        self.kind = kind
+
+    def matches(self, ctx) -> bool:
+        if self.kind is not None and ctx.traits.kind != self.kind:
+            return False
+        return bool(self.names & ctx.traits.relations)
+
+
+class RelationPrefixTrigger(Trigger):
+    """Fires when any referenced relation name starts with a prefix."""
+
+    def __init__(self, prefix: str, kind: str | None = None) -> None:
+        self.prefix = prefix.lower()
+        self.kind = kind
+
+    def matches(self, ctx) -> bool:
+        if self.kind is not None and ctx.traits.kind != self.kind:
+            return False
+        return any(name.startswith(self.prefix) for name in ctx.traits.relations)
+
+
+class SqlPatternTrigger(Trigger):
+    """Fires when the raw SQL text matches a regular expression."""
+
+    def __init__(self, pattern: str) -> None:
+        self.regex = re.compile(pattern, re.IGNORECASE | re.DOTALL)
+
+    def matches(self, ctx) -> bool:
+        return bool(self.regex.search(ctx.sql))
+
+
+class AllOf(Trigger):
+    """Conjunction of triggers."""
+
+    def __init__(self, triggers: Iterable[Trigger]) -> None:
+        self.triggers = tuple(triggers)
+
+    def matches(self, ctx) -> bool:
+        return all(trigger.matches(ctx) for trigger in self.triggers)
+
+
+class AnyOf(Trigger):
+    """Disjunction of triggers."""
+
+    def __init__(self, triggers: Iterable[Trigger]) -> None:
+        self.triggers = tuple(triggers)
+
+    def matches(self, ctx) -> bool:
+        return any(trigger.matches(ctx) for trigger in self.triggers)

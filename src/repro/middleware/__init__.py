@@ -1,0 +1,21 @@
+"""Diverse-redundancy SQL middleware (the system the paper motivates).
+
+See :class:`repro.middleware.server.DiverseServer` for the main entry
+point: a fault-tolerant SQL server assembled from two or more diverse
+off-the-shelf server products, comparing their answers on every
+statement.
+"""
+
+from repro.middleware.comparator import ComparisonResult, ResultComparator
+from repro.middleware.normalizer import normalize_result, normalize_signature, normalize_value
+from repro.middleware.server import DiverseServer, ReplicaState
+
+__all__ = [
+    "ComparisonResult",
+    "DiverseServer",
+    "ReplicaState",
+    "ResultComparator",
+    "normalize_result",
+    "normalize_signature",
+    "normalize_value",
+]

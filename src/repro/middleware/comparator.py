@@ -1,0 +1,104 @@
+"""Result comparison and vote grouping across diverse replicas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.middleware.normalizer import normalize_result
+
+
+@dataclass
+class ReplicaAnswer:
+    """One replica's answer to one statement."""
+
+    replica: str
+    status: str  # 'ok' | 'error' | 'crash'
+    columns: tuple[str, ...] = ()
+    rows: tuple[tuple, ...] = ()
+    rowcount: int = 0
+    virtual_cost: float = 0.0
+    error: str = ""
+    result: Any = None  # the raw engine Result for the winning answer
+
+    def vote_key(self, *, normalize: bool = True) -> tuple:
+        """Hashable ballot: answers with equal keys agree."""
+        if self.status == "crash":
+            return ("crash",)
+        if self.status == "error":
+            # Error *presence* is the vote; products word errors
+            # differently, which must not read as disagreement.
+            return ("error",)
+        if normalize:
+            columns, rows = normalize_result(self.columns, self.rows)
+            # Affected-rowcount is part of the answer: a replica
+            # reporting a wrong rowcount (the study's "other" failure
+            # class) must disagree with its peers.
+            return ("ok", columns, rows, self.rowcount)
+        # Bit-exact comparison: Python would otherwise equate
+        # Decimal('10.00') with 10, hiding representation diffs.
+        columns = tuple(self.columns)
+        rows = tuple(
+            tuple((type(value).__name__, repr(value)) for value in row)
+            for row in self.rows
+        )
+        return ("ok", columns, rows, self.rowcount)
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of comparing all replicas' answers to one statement."""
+
+    groups: list[list[ReplicaAnswer]] = field(default_factory=list)
+
+    @property
+    def unanimous(self) -> bool:
+        return len(self.groups) == 1
+
+    @property
+    def largest(self) -> list[ReplicaAnswer]:
+        return self.groups[0]
+
+    def majority(self, total: int) -> Optional[list[ReplicaAnswer]]:
+        """The agreeing group holding a strict majority of ``total``
+        replicas, if any."""
+        if self.groups and len(self.groups[0]) * 2 > total:
+            return self.groups[0]
+        return None
+
+    @property
+    def disagreement(self) -> bool:
+        return len(self.groups) > 1
+
+    def minority_replicas(self) -> list[str]:
+        """Replicas outside the largest agreeing group."""
+        return [
+            answer.replica for group in self.groups[1:] for answer in group
+        ]
+
+
+class ResultComparator:
+    """Groups replica answers into agreement classes.
+
+    ``normalize`` applies the representation canonicalisation of
+    Section 4.3; turning it off (ablation A1) makes representation
+    differences look like failures.
+    """
+
+    def __init__(self, *, normalize: bool = True) -> None:
+        self.normalize = normalize
+
+    def compare(self, answers: list[ReplicaAnswer]) -> ComparisonResult:
+        buckets: dict[tuple, list[ReplicaAnswer]] = {}
+        order: list[tuple] = []
+        for answer in answers:
+            key = answer.vote_key(normalize=self.normalize)
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append(answer)
+        groups = sorted(
+            (buckets[key] for key in order),
+            key=lambda group: (-len(group), group[0].replica),
+        )
+        return ComparisonResult(groups=list(groups))

@@ -1,0 +1,434 @@
+"""The diverse-redundancy fault-tolerant SQL server.
+
+``DiverseServer`` is the "middleware" of the paper's conclusions: it
+fans every statement out to two or more diverse off-the-shelf server
+products (black-box approach: only their client interfaces are used),
+compares the answers after representation normalisation, adjudicates,
+and manages replica failure and recovery.
+
+Adjudication policies
+---------------------
+
+``compare``
+    Pure error *detection* (the 2-version configuration of Table 3):
+    all active replicas must agree; disagreement raises
+    :class:`~repro.errors.AdjudicationFailure` instead of returning a
+    possibly-wrong answer.
+``majority``
+    Error *masking*: the answer backed by a strict majority of active
+    replicas wins; out-voted replicas are suspected and queued for
+    recovery.
+``primary``
+    No comparison: the first active replica answers (models a
+    conventional non-diverse setup; used as a baseline in benchmarks).
+
+Recovery is log-based: the middleware keeps the history of committed
+write statements, and a suspected/crashed replica is rebuilt by
+replaying that history onto a fresh instance — the "recovery performed
+on the faulty server while others continue" scenario of Section 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional, Sequence
+
+from repro.dialects.translator import translate_script
+from repro.errors import (
+    AdjudicationFailure,
+    EngineCrash,
+    MiddlewareError,
+    NoReplicasAvailable,
+    SqlError,
+)
+from repro.middleware.comparator import ComparisonResult, ReplicaAnswer, ResultComparator
+from repro.servers.product import ServerProduct
+from repro.sqlengine.analysis import extract_traits
+from repro.sqlengine.engine import Result
+from repro.sqlengine.parser import parse_statement
+
+#: Statement kinds that modify state and must reach every replica (and
+#: be replayed on recovery).
+_WRITE_KINDS = frozenset(
+    {
+        "insert",
+        "update",
+        "delete",
+        "create_table",
+        "create_view",
+        "create_index",
+        "drop_table",
+        "drop_view",
+        "drop_index",
+        "alter_table",
+        "begin",
+        "commit",
+        "rollback",
+        "savepoint",
+    }
+)
+
+
+class ReplicaState(Enum):
+    ACTIVE = "active"
+    SUSPECTED = "suspected"
+    FAILED = "failed"
+
+
+@dataclass
+class ReplicaStats:
+    statements: int = 0
+    errors: int = 0
+    crashes: int = 0
+    outvoted: int = 0
+    recoveries: int = 0
+
+
+@dataclass
+class Replica:
+    product: ServerProduct
+    state: ReplicaState = ReplicaState.ACTIVE
+    stats: ReplicaStats = field(default_factory=ReplicaStats)
+
+    @property
+    def key(self) -> str:
+        return self.product.key
+
+
+@dataclass
+class MiddlewareStats:
+    """Aggregate dependability bookkeeping for one DiverseServer."""
+
+    statements: int = 0
+    reads: int = 0
+    writes: int = 0
+    unanimous: int = 0
+    disagreements_detected: int = 0
+    failures_masked: int = 0
+    adjudication_failures: int = 0
+    replica_crashes: int = 0
+    recoveries: int = 0
+    performance_anomalies: int = 0
+
+    @property
+    def detection_events(self) -> int:
+        """Everything the redundancy surfaced: disagreements, crashes,
+        and performance anomalies."""
+        return (
+            self.disagreements_detected
+            + self.replica_crashes
+            + self.performance_anomalies
+        )
+
+
+class DiverseServer:
+    """A fault-tolerant SQL server built from diverse OTS products."""
+
+    def __init__(
+        self,
+        replicas: Sequence[ServerProduct],
+        *,
+        adjudication: str = "majority",
+        normalize: bool = True,
+        read_split: bool = False,
+        auto_recover: bool = True,
+    ) -> None:
+        if len(replicas) < 2 and adjudication != "primary":
+            raise MiddlewareError("a diverse server needs at least two replicas")
+        if adjudication not in ("compare", "majority", "monitor", "primary"):
+            raise MiddlewareError(f"unknown adjudication policy {adjudication!r}")
+        seen = set()
+        for product in replicas:
+            if product.key in seen:
+                raise MiddlewareError(
+                    f"duplicate product {product.key}: diversity requires "
+                    "distinct products (use replicated_server for identical copies)"
+                )
+            seen.add(product.key)
+        self.replicas = [Replica(product) for product in replicas]
+        self.adjudication = adjudication
+        self.comparator = ResultComparator(normalize=normalize)
+        self.read_split = read_split
+        self.auto_recover = auto_recover
+        self.stats = MiddlewareStats()
+        self._write_log: list[str] = []
+        self._read_cursor = 0
+        #: (sql, group leaders) pairs recorded in ``monitor`` mode.
+        self.disagreement_log: list[tuple[str, list[str]]] = []
+
+    # -- replica management -----------------------------------------------
+
+    def active_replicas(self) -> list[Replica]:
+        return [replica for replica in self.replicas if replica.state is ReplicaState.ACTIVE]
+
+    def replica(self, key: str) -> Replica:
+        for replica in self.replicas:
+            if replica.key == key:
+                return replica
+        raise KeyError(key)
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, sql: str) -> Result:
+        """Execute one statement through the redundant configuration."""
+        statement = parse_statement(sql)
+        traits = extract_traits(statement)
+        is_write = traits.kind in _WRITE_KINDS
+        self.stats.statements += 1
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+
+        active = self.active_replicas()
+        if not active:
+            raise NoReplicasAvailable("no active replicas")
+
+        if self.adjudication == "primary" or (
+            self.read_split and not is_write and self.adjudication != "compare"
+        ):
+            result = self._execute_single(sql, active, is_write)
+        else:
+            result = self._execute_compared(sql, active, is_write)
+        if is_write:
+            self._write_log.append(sql)
+        return result
+
+    def execute_script(self, sql: str) -> list[Result]:
+        from repro.study.runner import split_statements
+
+        return [self.execute(statement) for statement in split_statements(sql)]
+
+    # -- single-replica path (primary / read-split) ---------------------------------
+
+    def _execute_single(
+        self, sql: str, active: list[Replica], is_write: bool
+    ) -> Result:
+        if is_write and self.adjudication != "primary":
+            return self._execute_compared(sql, active, is_write)
+        if is_write or self.adjudication == "primary":
+            order = active  # primary answers; no read rotation
+        else:
+            order = self._rotate(active)
+        last_error: Optional[Exception] = None
+        for replica in order:
+            answer = self._ask(replica, sql)
+            if answer.status == "crash":
+                self._handle_crash(replica)
+                continue
+            if answer.status == "error":
+                raise SqlError(answer.error)
+            if is_write and self.adjudication == "primary":
+                # Propagate the write to the other replicas unchecked.
+                for other in active:
+                    if other is not replica:
+                        other_answer = self._ask(other, sql)
+                        if other_answer.status == "crash":
+                            self._handle_crash(other)
+            return answer.result
+        if last_error is not None:  # pragma: no cover - defensive
+            raise last_error
+        raise NoReplicasAvailable("all replicas crashed")
+
+    def _rotate(self, active: list[Replica]) -> list[Replica]:
+        self._read_cursor = (self._read_cursor + 1) % len(active)
+        return active[self._read_cursor :] + active[: self._read_cursor]
+
+    # -- compared path ------------------------------------------------------------
+
+    def _execute_compared(
+        self, sql: str, active: list[Replica], is_write: bool
+    ) -> Result:
+        answers: list[ReplicaAnswer] = []
+        crashed: list[Replica] = []
+        for replica in active:
+            answer = self._ask(replica, sql)
+            if answer.status == "crash":
+                crashed.append(replica)
+            else:
+                answers.append(answer)
+        for replica in crashed:
+            self._handle_crash(replica)
+        if not answers:
+            raise NoReplicasAvailable("all replicas crashed on this statement")
+
+        self._check_performance(answers)
+        comparison = self.comparator.compare(answers)
+        if comparison.unanimous:
+            self.stats.unanimous += 1
+            return self._answer_to_result(comparison.largest[0])
+
+        self.stats.disagreements_detected += 1
+        if self.adjudication == "monitor":
+            # Observation mode (Section 7: "the user could decide on an
+            # ongoing basis which architecture is giving the best
+            # trade-off"): log the disagreement, answer from the largest
+            # agreeing group, never interrupt service.
+            self.disagreement_log.append((sql, [g[0].replica for g in comparison.groups]))
+            return self._answer_to_result(comparison.largest[0])
+        if self.adjudication == "compare":
+            self.stats.adjudication_failures += 1
+            raise AdjudicationFailure(
+                f"replicas disagree on {sql!r}: "
+                + "; ".join(
+                    f"[{', '.join(a.replica for a in group)}]" for group in comparison.groups
+                ),
+                disagreement=comparison,
+            )
+        winners = comparison.majority(len(answers))
+        if winners is None:
+            self.stats.adjudication_failures += 1
+            raise AdjudicationFailure(
+                f"no majority among replicas for {sql!r}", disagreement=comparison
+            )
+        self.stats.failures_masked += 1
+        for key in comparison.minority_replicas():
+            self._suspect(self.replica(key))
+        return self._answer_to_result(winners[0])
+
+    #: A replica answering this many times slower than the fastest peer
+    #: is flagged as a performance anomaly (self-evident failure class).
+    PERFORMANCE_RATIO = 100.0
+
+    def _check_performance(self, answers: list[ReplicaAnswer]) -> None:
+        costs = [answer.virtual_cost for answer in answers if answer.status == "ok"]
+        if len(costs) >= 2 and max(costs) > self.PERFORMANCE_RATIO * max(min(costs), 1.0):
+            self.stats.performance_anomalies += 1
+
+    # -- plumbing --------------------------------------------------------------------
+
+    def _ask(self, replica: Replica, sql: str) -> ReplicaAnswer:
+        replica.stats.statements += 1
+        try:
+            translated = translate_script(sql, replica.product.descriptor)
+            result = replica.product.execute(translated)
+        except EngineCrash:
+            replica.stats.crashes += 1
+            return ReplicaAnswer(replica=replica.key, status="crash")
+        except SqlError as error:
+            replica.stats.errors += 1
+            return ReplicaAnswer(replica=replica.key, status="error", error=str(error))
+        return ReplicaAnswer(
+            replica=replica.key,
+            status="ok",
+            columns=tuple(result.columns),
+            rows=tuple(result.rows),
+            rowcount=result.rowcount,
+            virtual_cost=result.virtual_cost,
+            result=result,
+        )
+
+    @staticmethod
+    def _answer_to_result(answer: ReplicaAnswer) -> Result:
+        if answer.status == "error":
+            # All replicas agreed the statement is an error: this is the
+            # *correct* behaviour (e.g. a genuine constraint violation).
+            raise SqlError(answer.error)
+        return answer.result
+
+    def _handle_crash(self, replica: Replica) -> None:
+        replica.state = ReplicaState.FAILED
+        self.stats.replica_crashes += 1
+        if self.auto_recover:
+            self.recover(replica.key)
+
+    def _suspect(self, replica: Replica) -> None:
+        replica.stats.outvoted += 1
+        replica.state = ReplicaState.SUSPECTED
+        if self.auto_recover:
+            self.recover(replica.key)
+
+    # -- recovery ---------------------------------------------------------------------
+
+    def recover(self, key: str) -> None:
+        """Rebuild a failed/suspected replica by log replay.
+
+        The replica is reset to a fresh install and the committed write
+        history is replayed in order (translated to its dialect); it
+        then rejoins the active set.
+        """
+        replica = self.replica(key)
+        replica.product.reset()
+        replica.product.restart()
+        for sql in self._write_log:
+            try:
+                translated = translate_script(sql, replica.product.descriptor)
+                replica.product.execute(translated)
+            except EngineCrash:
+                replica.state = ReplicaState.FAILED
+                return
+            except SqlError:
+                continue  # statements that legitimately error replay as errors
+        replica.state = ReplicaState.ACTIVE
+        replica.stats.recoveries += 1
+        self.stats.recoveries += 1
+
+    # -- state consistency -------------------------------------------------------------------
+
+    def verify_consistency(self) -> dict[str, list[str]]:
+        """Cross-check the full database state of all active replicas.
+
+        Every base table of every active replica is dumped (ordered by
+        its normalised row content) and compared across replicas.
+        Returns a mapping ``table -> [replicas disagreeing with the
+        first active replica]`` — empty when all replicas hold the same
+        state.  Used after recovery and at audit points; the paper's
+        middleware sketch calls this the consistency-enforcing check.
+        """
+        from repro.middleware.normalizer import normalize_row
+
+        active = self.active_replicas()
+        if len(active) < 2:
+            return {}
+        reference = active[0]
+        table_names = sorted(
+            table.name.lower() for table in reference.product.engine.catalog.tables()
+        )
+
+        def dump(replica: Replica, name: str):
+            data = replica.product.engine.storage.get_optional(name)
+            if data is None:
+                return None
+            return sorted(normalize_row(row) for row in data.snapshot())
+
+        disagreements: dict[str, list[str]] = {}
+        for name in table_names:
+            baseline = dump(reference, name)
+            for replica in active[1:]:
+                if dump(replica, name) != baseline:
+                    disagreements.setdefault(name, []).append(replica.key)
+        return disagreements
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def write_log(self) -> list[str]:
+        return list(self._write_log)
+
+    def availability(self) -> float:
+        """Fraction of replicas currently active."""
+        return len(self.active_replicas()) / len(self.replicas)
+
+
+def replicated_server(
+    factory, count: int = 2, *, adjudication: str = "majority", **kwargs
+) -> DiverseServer:
+    """A *non-diverse* replicated server: ``count`` identical copies of
+    one product (the conventional configuration the paper argues
+    against).  Identical copies share identical faults, so coincident
+    wrong answers win the vote — the comparison baseline in benchmarks.
+    """
+    replicas = [factory() for _ in range(count)]
+    server = DiverseServer.__new__(DiverseServer)
+    # Bypass the distinct-product check deliberately.
+    server.replicas = [Replica(product) for product in replicas]
+    server.adjudication = adjudication
+    server.comparator = ResultComparator(normalize=kwargs.get("normalize", True))
+    server.read_split = kwargs.get("read_split", False)
+    server.auto_recover = kwargs.get("auto_recover", True)
+    server.stats = MiddlewareStats()
+    server._write_log = []
+    server._read_cursor = 0
+    server.disagreement_log = []
+    return server

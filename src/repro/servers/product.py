@@ -1,0 +1,110 @@
+"""One off-the-shelf server product: engine + dialect + fault catalog."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.dialects.features import DialectDescriptor
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultSpec
+from repro.sqlengine.engine import Connection, Engine, Result
+
+
+class ServerProduct:
+    """A simulated OTS SQL server product.
+
+    Parameters
+    ----------
+    descriptor:
+        The product's dialect (feature gate + spelling maps).
+    faults:
+        Seeded faults; usually produced by the bug corpus
+        (:func:`repro.bugs.corpus.build_corpus`).
+    seed / stress_mode:
+        Passed to the :class:`~repro.faults.injector.FaultInjector`
+        (Heisenbug activation model).
+    """
+
+    def __init__(
+        self,
+        descriptor: DialectDescriptor,
+        faults: Iterable[FaultSpec] = (),
+        *,
+        seed: int = 0,
+        stress_mode: bool = False,
+    ) -> None:
+        self.descriptor = descriptor
+        self.injector = FaultInjector(
+            descriptor.key, faults, seed=seed, stress_mode=stress_mode
+        )
+        self.engine = Engine(
+            name=f"{descriptor.product} {descriptor.version}",
+            injector=self.injector,
+            statement_validator=descriptor.validate,
+        )
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def key(self) -> str:
+        return self.descriptor.key
+
+    @property
+    def product(self) -> str:
+        return self.descriptor.product
+
+    @property
+    def version(self) -> str:
+        return self.descriptor.version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ServerProduct {self.key} ({self.product} {self.version})>"
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self, sql: str) -> Result:
+        """Execute SQL (all statements), returning the last result."""
+        return self.engine.execute(sql)
+
+    def execute_script(self, sql: str) -> list[Result]:
+        return self.engine.execute_script(sql)
+
+    def connect(self) -> Connection:
+        """Open a DB-API-flavoured connection (black-box client API)."""
+        return Connection(self.engine)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self.engine.crashed
+
+    def reset(self) -> None:
+        """Wipe schema + data and clear crash state (fresh install)."""
+        self.engine.reset()
+        self.injector.reset_history()
+
+    def restart(self) -> None:
+        """Restart after a crash, keeping data (recovery path)."""
+        self.engine.restart()
+
+    # -- fault management ----------------------------------------------------------
+
+    def seed_fault(self, fault: FaultSpec) -> None:
+        self.injector.add(fault)
+
+    def seed_faults(self, faults: Iterable[FaultSpec]) -> None:
+        for fault in faults:
+            self.injector.add(fault)
+
+    def fired_faults(self) -> set[str]:
+        return self.injector.fired_fault_ids
+
+
+def clone_pristine(server: ServerProduct) -> ServerProduct:
+    """A fresh server of the same product with *no* seeded faults.
+
+    Used as the oracle when the study classifier needs the correct
+    answer for a bug script (what the output *should* have been).
+    """
+    return ServerProduct(server.descriptor, faults=())

@@ -1,0 +1,56 @@
+"""Factories for the four server products."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.dialects.features import SERVER_KEYS, dialect
+from repro.faults.spec import FaultSpec
+from repro.servers.product import ServerProduct
+
+
+def make_server(
+    key: str,
+    faults: Iterable[FaultSpec] = (),
+    *,
+    seed: int = 0,
+    stress_mode: bool = False,
+) -> ServerProduct:
+    """Build one server product by key (IB/PG/OR/MS)."""
+    return ServerProduct(dialect(key), faults, seed=seed, stress_mode=stress_mode)
+
+
+def make_interbase(faults: Iterable[FaultSpec] = (), **kwargs) -> ServerProduct:
+    """Interbase 6.0 analogue."""
+    return make_server("IB", faults, **kwargs)
+
+
+def make_postgres(faults: Iterable[FaultSpec] = (), **kwargs) -> ServerProduct:
+    """PostgreSQL 7.0.0 analogue."""
+    return make_server("PG", faults, **kwargs)
+
+
+def make_oracle(faults: Iterable[FaultSpec] = (), **kwargs) -> ServerProduct:
+    """Oracle 8.0.5 analogue."""
+    return make_server("OR", faults, **kwargs)
+
+
+def make_mssql(faults: Iterable[FaultSpec] = (), **kwargs) -> ServerProduct:
+    """Microsoft SQL Server 7 analogue."""
+    return make_server("MS", faults, **kwargs)
+
+
+def make_all_servers(
+    faults_by_server: Optional[dict[str, list[FaultSpec]]] = None,
+    *,
+    seed: int = 0,
+    stress_mode: bool = False,
+) -> dict[str, ServerProduct]:
+    """Build all four products, optionally seeding per-server faults."""
+    faults_by_server = faults_by_server or {}
+    return {
+        key: make_server(
+            key, faults_by_server.get(key, ()), seed=seed, stress_mode=stress_mode
+        )
+        for key in SERVER_KEYS
+    }

@@ -1,0 +1,20 @@
+"""A from-scratch, in-memory SQL engine.
+
+This package is the substrate the reproduction runs on: the four diverse
+"server products" in :mod:`repro.servers` are instances of this engine
+configured with different dialect descriptors and fault catalogs.
+
+The public surface is:
+
+* :class:`repro.sqlengine.engine.Engine` — one database instance; accepts
+  SQL text and returns :class:`repro.sqlengine.engine.Result`.
+* :class:`repro.sqlengine.engine.Connection` — a DB-API-flavoured session
+  with transaction state.
+* :func:`repro.sqlengine.parser.parse_script` /
+  :func:`repro.sqlengine.parser.parse_statement` — standalone parsing, used
+  by the dialect translator and feature extractor.
+"""
+
+from repro.sqlengine.engine import Connection, Engine, Result
+
+__all__ = ["Connection", "Engine", "Result"]

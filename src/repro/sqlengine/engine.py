@@ -1,0 +1,610 @@
+"""The engine facade: one database instance accepting SQL text.
+
+An :class:`Engine` owns a catalog, row storage, and a transaction
+manager.  It consults a fault *injector* at three hook points —
+before execution, behaviour flags during execution, and result
+transformation after execution — which is how the four simulated server
+products (:mod:`repro.servers`) get their distinct fault behaviour while
+sharing one correct engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import (
+    CatalogError,
+    ConstraintViolation,
+    EngineCrash,
+    SqlError,
+    TypeMismatch,
+)
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.analysis import StatementTraits, extract_traits
+from repro.sqlengine.catalog import Catalog, ColumnDef, IndexDef, TableSchema, ViewDef
+from repro.sqlengine.executor import QueryResult, SelectExecutor
+from repro.sqlengine.expressions import ColumnBinding, Environment
+from repro.sqlengine.parser import parse_script
+from repro.sqlengine.storage import Storage
+from repro.sqlengine.transactions import TransactionManager
+from repro.sqlengine.typenames import resolve_type
+from repro.sqlengine.types import cast_value
+from repro.sqlengine.values import row_key
+
+
+@dataclass
+class Result:
+    """Outcome of one successfully executed statement."""
+
+    kind: str  # 'select' | 'dml' | 'ddl' | 'txn'
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = 0
+    #: Simulated execution cost (arbitrary units).  Injected performance
+    #: faults inflate this; the study classifier compares it against a
+    #: threshold instead of wall-clock time so benchmarks stay fast.
+    virtual_cost: float = 1.0
+
+    def scalar(self) -> Any:
+        """First column of the first row (convenience for tests)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+
+class ExecutionContext:
+    """Everything a fault trigger may inspect about the current statement."""
+
+    def __init__(self, engine: "Engine", sql: str, statement: ast.Statement) -> None:
+        self.engine = engine
+        self.sql = sql
+        self.statement = statement
+        self.traits: StatementTraits = extract_traits(statement)
+        #: Tags discovered only at run time (e.g. ``view.distinct_used``
+        #: when a referenced relation turned out to be a DISTINCT view).
+        self.dynamic_tags: set[str] = set()
+
+    @property
+    def all_tags(self) -> set[str]:
+        return self.traits.tags | self.dynamic_tags
+
+    def flag(self, name: str) -> bool:
+        """Query a behaviour flag from the engine's fault injector."""
+        return self.engine.injector.flag(name, self)
+
+    def note_view_use(self, view: ViewDef) -> None:
+        self.dynamic_tags.add("view.used")
+        if view.has_distinct:
+            self.dynamic_tags.add("view.distinct_used")
+
+
+class NullInjector:
+    """Fault injector that injects nothing (a correct server)."""
+
+    def flag(self, name: str, ctx: Optional[ExecutionContext] = None) -> bool:
+        return False
+
+    def before_statement(self, ctx: ExecutionContext) -> None:
+        return None
+
+    def after_statement(self, ctx: ExecutionContext, result: Result) -> Result:
+        return result
+
+
+StatementValidator = Callable[[ast.Statement, StatementTraits], None]
+
+
+class Engine:
+    """One in-memory SQL database instance."""
+
+    def __init__(
+        self,
+        name: str = "engine",
+        injector: Optional[NullInjector] = None,
+        statement_validator: Optional[StatementValidator] = None,
+    ) -> None:
+        self.name = name
+        self.injector = injector or NullInjector()
+        self.statement_validator = statement_validator
+        self.catalog = Catalog()
+        self.storage = Storage()
+        self.transactions = TransactionManager()
+        self.crashed = False
+        self.statements_executed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all data and schema; clear crash state (fresh install)."""
+        self.transactions.abort_if_open()
+        self.catalog.clear()
+        self.storage.clear()
+        self.crashed = False
+
+    def restart(self) -> None:
+        """Recover from a crash: open transactions are lost, data kept."""
+        self.transactions.abort_if_open()
+        self.crashed = False
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, sql: str) -> Result:
+        """Execute all statements in ``sql``; return the last result."""
+        results = self.execute_script(sql)
+        return results[-1] if results else Result(kind="txn")
+
+    def execute_script(self, sql: str) -> list[Result]:
+        """Execute a semicolon-separated script, statement by statement."""
+        if self.crashed:
+            raise EngineCrash(self.name, "engine is down (previous crash)")
+        statements = parse_script(sql)
+        return [self._execute_statement(stmt, sql) for stmt in statements]
+
+    def _execute_statement(self, stmt: ast.Statement, sql: str) -> Result:
+        ctx = ExecutionContext(self, sql, stmt)
+        if self.statement_validator is not None:
+            self.statement_validator(stmt, ctx.traits)
+        try:
+            self.injector.before_statement(ctx)
+            result = self._dispatch(stmt, ctx)
+            result = self.injector.after_statement(ctx, result)
+        except EngineCrash:
+            self.crashed = True
+            self.transactions.abort_if_open()
+            raise
+        self.statements_executed += 1
+        return result
+
+    def _dispatch(self, stmt: ast.Statement, ctx: ExecutionContext) -> Result:
+        if isinstance(stmt, ast.SelectStatement):
+            executor = SelectExecutor(self, ctx)
+            output: QueryResult = executor.execute_select(stmt)
+            return Result(
+                kind="select",
+                columns=output.columns,
+                rows=output.rows,
+                rowcount=len(output.rows),
+            )
+        if isinstance(stmt, ast.Insert):
+            return self._execute_insert(stmt, ctx)
+        if isinstance(stmt, ast.Update):
+            return self._execute_update(stmt, ctx)
+        if isinstance(stmt, ast.Delete):
+            return self._execute_delete(stmt, ctx)
+        if isinstance(stmt, ast.CreateTable):
+            return self._execute_create_table(stmt, ctx)
+        if isinstance(stmt, ast.CreateView):
+            return self._execute_create_view(stmt, ctx)
+        if isinstance(stmt, ast.CreateIndex):
+            return self._execute_create_index(stmt, ctx)
+        if isinstance(stmt, ast.DropTable):
+            return self._execute_drop_table(stmt, ctx)
+        if isinstance(stmt, ast.DropView):
+            return self._execute_drop_view(stmt, ctx)
+        if isinstance(stmt, ast.DropIndex):
+            return self._execute_drop_index(stmt, ctx)
+        if isinstance(stmt, ast.AlterTableAddColumn):
+            return self._execute_alter_add_column(stmt, ctx)
+        if isinstance(stmt, ast.BeginTransaction):
+            self.transactions.begin()
+            return Result(kind="txn")
+        if isinstance(stmt, ast.Commit):
+            self.transactions.commit()
+            return Result(kind="txn")
+        if isinstance(stmt, ast.Rollback):
+            if stmt.savepoint:
+                self.transactions.rollback_to_savepoint(stmt.savepoint)
+            else:
+                self.transactions.rollback()
+            return Result(kind="txn")
+        if isinstance(stmt, ast.Savepoint):
+            self.transactions.savepoint(stmt.name)
+            return Result(kind="txn")
+        raise SqlError(f"unsupported statement {type(stmt).__name__}")  # pragma: no cover
+
+    # -- DML -------------------------------------------------------------------
+
+    def _execute_insert(self, stmt: ast.Insert, ctx: ExecutionContext) -> Result:
+        schema = self.catalog.table(stmt.table)
+        data = self.storage.get(stmt.table)
+        executor = SelectExecutor(self, ctx)
+
+        if stmt.columns is not None:
+            target_indices = [schema.column_index(name) for name in stmt.columns]
+            if len(set(target_indices)) != len(target_indices):
+                raise SqlError(f"duplicate column in INSERT into {stmt.table!r}")
+        else:
+            target_indices = list(range(len(schema.columns)))
+
+        if stmt.rows is not None:
+            source_rows = [
+                tuple(executor.evaluator.evaluate(expr, None) for expr in row)
+                for row in stmt.rows
+            ]
+        else:
+            source_rows = executor.execute_select(stmt.query).rows
+
+        inserted: list[list[Any]] = []
+        pending: list[list[Any]] = []
+        for source in source_rows:
+            if len(source) != len(target_indices):
+                raise SqlError(
+                    f"INSERT has {len(source)} values for {len(target_indices)} columns"
+                )
+            row = self._complete_row(schema, target_indices, source, ctx)
+            self._check_row_constraints(schema, row, ctx)
+            self._check_uniqueness(schema, data, row, pending=pending)
+            pending.append(row)
+        for row in pending:
+            stored = data.insert(row)
+            inserted.append(stored)
+            self.transactions.record(lambda r=stored, d=data: d.remove_row(r))
+        return Result(kind="dml", rowcount=len(inserted))
+
+    def _complete_row(
+        self,
+        schema: TableSchema,
+        target_indices: list[int],
+        source: tuple,
+        ctx: ExecutionContext,
+    ) -> list[Any]:
+        missing = object()
+        row: list[Any] = [missing] * len(schema.columns)
+        for index, value in zip(target_indices, source):
+            column = schema.columns[index]
+            row[index] = cast_value(value, column.sql_type, implicit=True)
+        for index, column in enumerate(schema.columns):
+            if row[index] is missing:
+                row[index] = self._default_value(column, ctx)
+        return row
+
+    def _default_value(self, column: ColumnDef, ctx: ExecutionContext) -> Any:
+        if column.default is None:
+            return None
+        executor = SelectExecutor(self, ctx)
+        value = executor.evaluator.evaluate(column.default, None)
+        # This cast is where a wrongly-typed DEFAULT that slipped through
+        # creation (bug 217042 behaviour) finally fails — the "detected
+        # with high latency" runtime error the paper describes.
+        return cast_value(value, column.sql_type, implicit=True)
+
+    def _check_row_constraints(
+        self, schema: TableSchema, row: list[Any], ctx: ExecutionContext
+    ) -> None:
+        for index, column in enumerate(schema.columns):
+            if column.not_null and row[index] is None:
+                raise ConstraintViolation(
+                    f"column {column.name!r} of {schema.name!r} may not be NULL"
+                )
+        columns = [ColumnBinding(schema.name, column.name) for column in schema.columns]
+        env = Environment(columns, tuple(row))
+        executor = SelectExecutor(self, ctx)
+        for index, column in enumerate(schema.columns):
+            if column.check is not None:
+                if executor.evaluator.evaluate(column.check, env) is False:
+                    raise ConstraintViolation(
+                        f"CHECK constraint on column {column.name!r} violated"
+                    )
+        for check in schema.checks:
+            if executor.evaluator.evaluate(check, env) is False:
+                raise ConstraintViolation(
+                    f"CHECK constraint on table {schema.name!r} violated"
+                )
+
+    def _unique_column_sets(self, schema: TableSchema) -> list[tuple[list[int], bool]]:
+        """(column indices, is_primary) for each uniqueness constraint."""
+        sets: list[tuple[list[int], bool]] = []
+        if schema.primary_key:
+            sets.append(([schema.column_index(c) for c in schema.primary_key], True))
+        for unique in schema.unique_sets:
+            sets.append(([schema.column_index(c) for c in unique], False))
+        for index_def in self.catalog.indexes_on(schema.name):
+            if index_def.unique:
+                sets.append(
+                    ([schema.column_index(c) for c in index_def.columns], False)
+                )
+        return sets
+
+    def _check_uniqueness(
+        self,
+        schema: TableSchema,
+        data,
+        row: list[Any],
+        *,
+        pending: list[list[Any]] = (),
+        skip: Optional[list[Any]] = None,
+    ) -> None:
+        for indices, is_primary in self._unique_column_sets(schema):
+            values = [row[i] for i in indices]
+            if any(value is None for value in values):
+                if is_primary:
+                    raise ConstraintViolation(
+                        f"primary key of {schema.name!r} may not be NULL"
+                    )
+                continue  # SQL UNIQUE ignores NULLs
+            key = row_key(tuple(values))
+            for existing in itertools.chain(data.rows(), pending):
+                if existing is row or existing is skip:
+                    continue
+                if row_key(tuple(existing[i] for i in indices)) == key:
+                    label = "primary key" if is_primary else "unique"
+                    raise ConstraintViolation(
+                        f"{label} constraint violated on {schema.name!r}"
+                    )
+
+    def _execute_update(self, stmt: ast.Update, ctx: ExecutionContext) -> Result:
+        schema = self.catalog.table(stmt.table)
+        data = self.storage.get(stmt.table)
+        executor = SelectExecutor(self, ctx)
+        columns = [ColumnBinding(schema.name, column.name) for column in schema.columns]
+        assignment_indices = [
+            (schema.column_index(name), expr) for name, expr in stmt.assignments
+        ]
+        updated = 0
+        for row in data.rows():
+            env = Environment(columns, tuple(row))
+            if stmt.where is not None and not executor.evaluator.truthy(stmt.where, env):
+                continue
+            new_values: dict[int, Any] = {}
+            for index, expr in assignment_indices:
+                column = schema.columns[index]
+                value = executor.evaluator.evaluate(expr, env)
+                new_values[index] = cast_value(value, column.sql_type, implicit=True)
+            old_values = {index: row[index] for index in new_values}
+            candidate = list(row)
+            for index, value in new_values.items():
+                candidate[index] = value
+            self._check_row_constraints(schema, candidate, ctx)
+            self._check_uniqueness(schema, data, candidate, skip=row)
+            for index, value in new_values.items():
+                row[index] = value
+            updated += 1
+            self.transactions.record(
+                lambda r=row, old=old_values: [r.__setitem__(i, v) for i, v in old.items()]
+            )
+        return Result(kind="dml", rowcount=updated)
+
+    def _execute_delete(self, stmt: ast.Delete, ctx: ExecutionContext) -> Result:
+        schema = self.catalog.table(stmt.table)
+        data = self.storage.get(stmt.table)
+        executor = SelectExecutor(self, ctx)
+        columns = [ColumnBinding(schema.name, column.name) for column in schema.columns]
+
+        def matches(row: list[Any]) -> bool:
+            if stmt.where is None:
+                return True
+            env = Environment(columns, tuple(row))
+            return executor.evaluator.truthy(stmt.where, env)
+
+        removed = data.delete_rows(matches)
+        self.transactions.record(lambda r=removed, d=data: d.restore_rows(r))
+        return Result(kind="dml", rowcount=len(removed))
+
+    # -- DDL -------------------------------------------------------------------
+
+    def _execute_create_table(self, stmt: ast.CreateTable, ctx: ExecutionContext) -> Result:
+        executor = SelectExecutor(self, ctx)
+        columns: list[ColumnDef] = []
+        primary_key: list[str] = []
+        unique_sets: list[list[str]] = []
+        checks: list[ast.Expression] = []
+        for spec in stmt.columns:
+            sql_type = resolve_type(spec.type_name, spec.type_args)
+            if spec.default is not None and not ctx.flag("skip_default_type_validation"):
+                # SQL-92 requires the DEFAULT to be assignable to the
+                # column type at definition time.  Interbase report
+                # 217042(3) shows two products skipping this check.
+                value = executor.evaluator.evaluate(spec.default, None)
+                try:
+                    cast_value(value, sql_type, implicit=True)
+                except TypeMismatch:
+                    raise TypeMismatch(
+                        f"DEFAULT value for column {spec.name!r} is not assignable "
+                        f"to type {sql_type.render()}"
+                    ) from None
+            columns.append(
+                ColumnDef(
+                    name=spec.name,
+                    sql_type=sql_type,
+                    not_null=spec.not_null,
+                    default=spec.default,
+                    check=spec.check,
+                )
+            )
+            if spec.primary_key:
+                primary_key.append(spec.name.lower())
+            if spec.unique:
+                unique_sets.append([spec.name.lower()])
+        for constraint in stmt.constraints:
+            if constraint.kind == "PRIMARY KEY":
+                if primary_key:
+                    raise SqlError(f"table {stmt.name!r} has two primary keys")
+                primary_key = [name.lower() for name in constraint.columns]
+            elif constraint.kind == "UNIQUE":
+                unique_sets.append([name.lower() for name in constraint.columns])
+            elif constraint.kind == "CHECK" and constraint.check is not None:
+                checks.append(constraint.check)
+        schema = TableSchema(
+            name=stmt.name,
+            columns=columns,
+            primary_key=primary_key,
+            unique_sets=unique_sets,
+            checks=checks,
+        )
+        for key in primary_key:
+            schema.column_index(key)  # raises if the PK names a missing column
+        self.catalog.add_table(schema)
+        self.storage.create(stmt.name, len(columns))
+        self.transactions.record(lambda: self._undo_create_table(stmt.name))
+        return Result(kind="ddl")
+
+    def _undo_create_table(self, name: str) -> None:
+        try:
+            self.catalog.drop_table(name)
+        except CatalogError:  # pragma: no cover - undo best effort
+            pass
+        self.storage.drop(name)
+
+    def _execute_create_view(self, stmt: ast.CreateView, ctx: ExecutionContext) -> Result:
+        view = ViewDef(name=stmt.name, query=stmt.query, column_names=stmt.column_names)
+        # Validate the defining query by running it once, like products
+        # that bind views eagerly; surfaces missing tables/columns now.
+        executor = SelectExecutor(self, ctx)
+        output = executor.execute_select(stmt.query)
+        if stmt.column_names is not None and len(stmt.column_names) != len(output.columns):
+            raise CatalogError(
+                f"view {stmt.name!r} column list does not match its query"
+            )
+        self.catalog.add_view(view)
+        self.transactions.record(lambda: self.catalog.drop_view(stmt.name))
+        return Result(kind="ddl")
+
+    def _execute_create_index(self, stmt: ast.CreateIndex, ctx: ExecutionContext) -> Result:
+        index = IndexDef(
+            name=stmt.name,
+            table=stmt.table,
+            columns=stmt.columns,
+            unique=stmt.unique,
+            clustered=stmt.clustered,
+        )
+        schema = self.catalog.table(stmt.table)
+        data = self.storage.get(stmt.table)
+        if stmt.unique:
+            indices = [schema.column_index(name) for name in stmt.columns]
+            seen: set = set()
+            for row in data.rows():
+                values = tuple(row[i] for i in indices)
+                if any(value is None for value in values):
+                    continue
+                key = row_key(values)
+                if key in seen:
+                    raise ConstraintViolation(
+                        f"existing rows violate unique index {stmt.name!r}"
+                    )
+                seen.add(key)
+        self.catalog.add_index(index)
+        self.transactions.record(lambda: self.catalog.drop_index(stmt.name))
+        return Result(kind="ddl")
+
+    def _execute_drop_table(self, stmt: ast.DropTable, ctx: ExecutionContext) -> Result:
+        allow_view = ctx.flag("allow_drop_table_on_view")
+        if allow_view and self.catalog.has_view(stmt.name):
+            view = self.catalog.view(stmt.name)
+            self.catalog.drop_table(stmt.name, allow_view=True)
+            self.transactions.record(lambda v=view: self.catalog.add_view(v))
+            return Result(kind="ddl")
+        schema = self.catalog.table(stmt.name)  # raises the standard error
+        indexes = self.catalog.indexes_on(stmt.name)
+        self.catalog.drop_table(stmt.name)
+        data = self.storage.drop(stmt.name)
+
+        def undo() -> None:
+            self.catalog.add_table(schema)
+            for index in indexes:
+                self.catalog.add_index(index)
+            if data is not None:
+                self.storage._tables[schema.name.lower()] = data
+
+        self.transactions.record(undo)
+        return Result(kind="ddl")
+
+    def _execute_drop_view(self, stmt: ast.DropView, ctx: ExecutionContext) -> Result:
+        view = self.catalog.view(stmt.name)
+        self.catalog.drop_view(stmt.name)
+        self.transactions.record(lambda v=view: self.catalog.add_view(v))
+        return Result(kind="ddl")
+
+    def _execute_drop_index(self, stmt: ast.DropIndex, ctx: ExecutionContext) -> Result:
+        index = self.catalog.index(stmt.name)
+        self.catalog.drop_index(stmt.name)
+        self.transactions.record(lambda ix=index: self.catalog.add_index(ix))
+        return Result(kind="ddl")
+
+    def _execute_alter_add_column(
+        self, stmt: ast.AlterTableAddColumn, ctx: ExecutionContext
+    ) -> Result:
+        schema = self.catalog.table(stmt.table)
+        data = self.storage.get(stmt.table)
+        if schema.has_column(stmt.column.name):
+            raise CatalogError(
+                f"column {stmt.column.name!r} already exists in {stmt.table!r}"
+            )
+        sql_type = resolve_type(stmt.column.type_name, stmt.column.type_args)
+        column = ColumnDef(
+            name=stmt.column.name,
+            sql_type=sql_type,
+            not_null=stmt.column.not_null,
+            default=stmt.column.default,
+            check=stmt.column.check,
+        )
+        fill: Any = None
+        if column.default is not None:
+            fill = self._default_value(column, ctx)
+        if column.not_null and fill is None and len(data) > 0:
+            raise ConstraintViolation(
+                f"cannot add NOT NULL column {column.name!r} without a default"
+            )
+        schema.columns.append(column)
+        data.add_column(fill)
+
+        def undo() -> None:
+            schema.columns.pop()
+            data.column_count -= 1
+            for row in data.rows():
+                row.pop()
+
+        self.transactions.record(undo)
+        return Result(kind="ddl")
+
+
+class Connection:
+    """DB-API-flavoured session over an :class:`Engine`.
+
+    The middleware and the examples talk to servers through this class,
+    mirroring how the paper's middleware would sit on the products'
+    standard client interfaces (the "black-box" approach).
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self._engine = engine
+        self._last: Optional[Result] = None
+        self.closed = False
+
+    @property
+    def engine(self) -> Engine:
+        return self._engine
+
+    def execute(self, sql: str) -> Result:
+        if self.closed:
+            raise SqlError("connection is closed")
+        self._last = self._engine.execute(sql)
+        return self._last
+
+    def fetchall(self) -> list[tuple]:
+        if self._last is None:
+            return []
+        return list(self._last.rows)
+
+    def fetchone(self) -> Optional[tuple]:
+        if self._last is None or not self._last.rows:
+            return None
+        return self._last.rows[0]
+
+    @property
+    def description(self) -> list[tuple]:
+        if self._last is None:
+            return []
+        return [(name,) for name in self._last.columns]
+
+    def commit(self) -> None:
+        if self._engine.transactions.in_transaction:
+            self._engine.transactions.commit()
+
+    def rollback(self) -> None:
+        if self._engine.transactions.in_transaction:
+            self._engine.transactions.rollback()
+
+    def close(self) -> None:
+        self.closed = True

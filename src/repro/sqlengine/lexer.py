@@ -1,0 +1,167 @@
+"""SQL tokeniser.
+
+Handles identifiers, double-quoted identifiers, single-quoted string
+literals with ``''`` escaping, integer/decimal/scientific numbers,
+``--`` line comments, ``/* */`` block comments, and the operator set in
+:mod:`repro.sqlengine.tokens`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import LexError
+from repro.sqlengine.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    PUNCTUATION,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+
+class Lexer:
+    """Tokenise SQL text.
+
+    Parameters
+    ----------
+    text:
+        The SQL source.
+    extra_keywords:
+        Product-specific keywords a dialect adds to the common core
+        (e.g. ``CLUSTERED``).
+    """
+
+    def __init__(self, text: str, extra_keywords: Iterable[str] = ()) -> None:
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._keywords = KEYWORDS | {word.upper() for word in extra_keywords}
+
+    def tokens(self) -> list[Token]:
+        """Return the full token list, ending with an EOF token."""
+        return list(self._iter_tokens())
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= len(self._text):
+                yield Token(TokenKind.EOF, "", self._pos, self._line)
+                return
+            yield self._next_token()
+
+    def _skip_whitespace_and_comments(self) -> None:
+        text = self._text
+        while self._pos < len(text):
+            char = text[self._pos]
+            if char == "\n":
+                self._line += 1
+                self._pos += 1
+            elif char.isspace():
+                self._pos += 1
+            elif text.startswith("--", self._pos):
+                end = text.find("\n", self._pos)
+                self._pos = len(text) if end < 0 else end
+            elif text.startswith("/*", self._pos):
+                end = text.find("*/", self._pos + 2)
+                if end < 0:
+                    raise LexError(f"unterminated block comment at line {self._line}")
+                self._line += text.count("\n", self._pos, end)
+                self._pos = end + 2
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        text = self._text
+        start = self._pos
+        char = text[start]
+
+        if char == "'":
+            return self._string_literal()
+        if char == '"':
+            return self._quoted_identifier()
+        if char.isdigit() or (char == "." and self._peek_is_digit(start + 1)):
+            return self._number()
+        if char.isalpha() or char == "_":
+            return self._word()
+        for op in MULTI_CHAR_OPERATORS:
+            if text.startswith(op, start):
+                self._pos += len(op)
+                return Token(TokenKind.OPERATOR, op, start, self._line)
+        if char in SINGLE_CHAR_OPERATORS:
+            self._pos += 1
+            return Token(TokenKind.OPERATOR, char, start, self._line)
+        if char in PUNCTUATION:
+            self._pos += 1
+            return Token(TokenKind.PUNCT, char, start, self._line)
+        raise LexError(f"unexpected character {char!r} at line {self._line}")
+
+    def _peek_is_digit(self, index: int) -> bool:
+        return index < len(self._text) and self._text[index].isdigit()
+
+    def _string_literal(self) -> Token:
+        text = self._text
+        start = self._pos
+        pos = start + 1
+        pieces: list[str] = []
+        while True:
+            end = text.find("'", pos)
+            if end < 0:
+                raise LexError(f"unterminated string literal at line {self._line}")
+            pieces.append(text[pos:end])
+            if text.startswith("''", end):
+                pieces.append("'")
+                pos = end + 2
+            else:
+                self._line += text.count("\n", start, end)
+                self._pos = end + 1
+                return Token(TokenKind.STRING, "".join(pieces), start, self._line)
+
+    def _quoted_identifier(self) -> Token:
+        text = self._text
+        start = self._pos
+        end = text.find('"', start + 1)
+        if end < 0:
+            raise LexError(f"unterminated quoted identifier at line {self._line}")
+        self._pos = end + 1
+        return Token(TokenKind.QUOTED_IDENTIFIER, text[start + 1 : end], start, self._line)
+
+    def _number(self) -> Token:
+        text = self._text
+        start = self._pos
+        pos = start
+        while pos < len(text) and text[pos].isdigit():
+            pos += 1
+        if pos < len(text) and text[pos] == ".":
+            pos += 1
+            while pos < len(text) and text[pos].isdigit():
+                pos += 1
+        if pos < len(text) and text[pos] in "eE":
+            exp = pos + 1
+            if exp < len(text) and text[exp] in "+-":
+                exp += 1
+            if exp < len(text) and text[exp].isdigit():
+                pos = exp
+                while pos < len(text) and text[pos].isdigit():
+                    pos += 1
+        self._pos = pos
+        return Token(TokenKind.NUMBER, text[start:pos], start, self._line)
+
+    def _word(self) -> Token:
+        text = self._text
+        start = self._pos
+        pos = start
+        while pos < len(text) and (text[pos].isalnum() or text[pos] == "_"):
+            pos += 1
+        self._pos = pos
+        word = text[start:pos]
+        upper = word.upper()
+        if upper in self._keywords:
+            return Token(TokenKind.KEYWORD, upper, start, self._line)
+        return Token(TokenKind.IDENTIFIER, word, start, self._line)
+
+
+def tokenize(text: str, extra_keywords: Iterable[str] = ()) -> list[Token]:
+    """Convenience wrapper: tokenise ``text`` into a list of tokens."""
+    return Lexer(text, extra_keywords).tokens()

@@ -1,0 +1,219 @@
+"""AST -> SQL rendering.
+
+Turns statement/expression trees back into executable SQL text.  Used
+by the query-rephrasing wrapper (which transforms ASTs and needs to run
+the result) and by tests that check transform round-trips.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Union
+
+from repro.errors import ReproError
+from repro.sqlengine import ast_nodes as ast
+
+
+def render_statement(stmt: ast.Statement) -> str:
+    """Render any supported statement back to SQL."""
+    if isinstance(stmt, ast.SelectStatement):
+        return render_select(stmt)
+    if isinstance(stmt, ast.Insert):
+        return _render_insert(stmt)
+    if isinstance(stmt, ast.Update):
+        return _render_update(stmt)
+    if isinstance(stmt, ast.Delete):
+        where = f" WHERE {render_expression(stmt.where)}" if stmt.where else ""
+        return f"DELETE FROM {stmt.table}{where}"
+    if isinstance(stmt, ast.CreateView):
+        columns = f" ({', '.join(stmt.column_names)})" if stmt.column_names else ""
+        return f"CREATE VIEW {stmt.name}{columns} AS {render_select(stmt.query)}"
+    if isinstance(stmt, ast.DropTable):
+        return f"DROP TABLE {stmt.name}"
+    if isinstance(stmt, ast.DropView):
+        return f"DROP VIEW {stmt.name}"
+    if isinstance(stmt, ast.DropIndex):
+        return f"DROP INDEX {stmt.name}"
+    if isinstance(stmt, ast.BeginTransaction):
+        return "BEGIN"
+    if isinstance(stmt, ast.Commit):
+        return "COMMIT"
+    if isinstance(stmt, ast.Rollback):
+        return f"ROLLBACK TO SAVEPOINT {stmt.savepoint}" if stmt.savepoint else "ROLLBACK"
+    if isinstance(stmt, ast.Savepoint):
+        return f"SAVEPOINT {stmt.name}"
+    if isinstance(stmt, ast.CreateIndex):
+        unique = "UNIQUE " if stmt.unique else ""
+        clustered = "CLUSTERED " if stmt.clustered else ""
+        return (
+            f"CREATE {unique}{clustered}INDEX {stmt.name} ON {stmt.table} "
+            f"({', '.join(stmt.columns)})"
+        )
+    raise ReproError(f"cannot render {type(stmt).__name__}")
+
+
+def _render_insert(stmt: ast.Insert) -> str:
+    columns = f" ({', '.join(stmt.columns)})" if stmt.columns else ""
+    if stmt.rows is not None:
+        rows = ", ".join(
+            "(" + ", ".join(render_expression(value) for value in row) + ")"
+            for row in stmt.rows
+        )
+        return f"INSERT INTO {stmt.table}{columns} VALUES {rows}"
+    return f"INSERT INTO {stmt.table}{columns} {render_select(stmt.query)}"
+
+
+def _render_update(stmt: ast.Update) -> str:
+    assignments = ", ".join(
+        f"{column} = {render_expression(value)}" for column, value in stmt.assignments
+    )
+    where = f" WHERE {render_expression(stmt.where)}" if stmt.where else ""
+    return f"UPDATE {stmt.table} SET {assignments}{where}"
+
+
+def render_select(stmt: ast.SelectStatement) -> str:
+    text = _render_body(stmt.body)
+    if stmt.order_by:
+        items = ", ".join(
+            render_expression(item.expression) + (" DESC" if item.descending else "")
+            for item in stmt.order_by
+        )
+        text += f" ORDER BY {items}"
+    if stmt.limit is not None:
+        text += f" LIMIT {stmt.limit}"
+    return text
+
+
+def _render_body(body: Union[ast.SelectCore, ast.SetOperation]) -> str:
+    if isinstance(body, ast.SetOperation):
+        op = body.op + (" ALL" if body.all else "")
+        return f"({_render_body(body.left)}) {op} ({_render_body(body.right)})"
+    return _render_core(body)
+
+
+def _render_core(core: ast.SelectCore) -> str:
+    parts = ["SELECT"]
+    if core.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_render_select_item(item) for item in core.items))
+    if core.from_items:
+        parts.append("FROM " + ", ".join(_render_from_item(item) for item in core.from_items))
+    if core.where is not None:
+        parts.append("WHERE " + render_expression(core.where))
+    if core.group_by:
+        parts.append("GROUP BY " + ", ".join(render_expression(e) for e in core.group_by))
+    if core.having is not None:
+        parts.append("HAVING " + render_expression(core.having))
+    return " ".join(parts)
+
+
+def _render_select_item(item: ast.SelectItem) -> str:
+    if isinstance(item.expression, ast.Star):
+        return f"{item.expression.table}.*" if item.expression.table else "*"
+    text = render_expression(item.expression)
+    return f"{text} AS {item.alias}" if item.alias else text
+
+
+def _render_from_item(item: ast.FromItem) -> str:
+    if isinstance(item, ast.TableRef):
+        return f"{item.name} {item.alias}" if item.alias else item.name
+    if isinstance(item, ast.SubqueryRef):
+        return f"({render_select(item.subquery)}) {item.alias}"
+    if isinstance(item, ast.Join):
+        left = _render_from_item(item.left)
+        right = _render_from_item(item.right)
+        if item.kind == "CROSS":
+            return f"{left} CROSS JOIN {right}"
+        keyword = {"INNER": "JOIN", "LEFT": "LEFT OUTER JOIN",
+                   "RIGHT": "RIGHT OUTER JOIN", "FULL": "FULL OUTER JOIN"}[item.kind]
+        return f"{left} {keyword} {right} ON {render_expression(item.condition)}"
+    raise ReproError(f"cannot render from-item {type(item).__name__}")
+
+
+def render_expression(expr: ast.Expression) -> str:
+    if isinstance(expr, ast.Literal):
+        return _render_literal(expr.value)
+    if isinstance(expr, ast.ColumnRef):
+        return expr.qualified
+    if isinstance(expr, ast.Star):
+        return "*"
+    if isinstance(expr, ast.BinaryOp):
+        return (
+            f"({render_expression(expr.left)} {expr.op} "
+            f"{render_expression(expr.right)})"
+        )
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            return f"(NOT {render_expression(expr.operand)})"
+        return f"({expr.op}{render_expression(expr.operand)})"
+    if isinstance(expr, ast.FunctionCall):
+        if expr.star:
+            return f"{expr.name}(*)"
+        distinct = "DISTINCT " if expr.distinct else ""
+        args = ", ".join(render_expression(arg) for arg in expr.args)
+        return f"{expr.name}({distinct}{args})"
+    if isinstance(expr, ast.CastExpr):
+        first, second = expr.type_args
+        if first is not None and second is not None:
+            type_text = f"{expr.type_name}({first},{second})"
+        elif first is not None:
+            type_text = f"{expr.type_name}({first})"
+        else:
+            type_text = expr.type_name
+        return f"CAST({render_expression(expr.operand)} AS {type_text})"
+    if isinstance(expr, ast.CaseExpr):
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(render_expression(expr.operand))
+        for when, then in expr.branches:
+            parts.append(f"WHEN {render_expression(when)} THEN {render_expression(then)}")
+        if expr.else_result is not None:
+            parts.append(f"ELSE {render_expression(expr.else_result)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, ast.IsNullPredicate):
+        negation = " NOT" if expr.negated else ""
+        return f"({render_expression(expr.operand)} IS{negation} NULL)"
+    if isinstance(expr, ast.BetweenPredicate):
+        negation = "NOT " if expr.negated else ""
+        return (
+            f"({render_expression(expr.operand)} {negation}BETWEEN "
+            f"{render_expression(expr.low)} AND {render_expression(expr.high)})"
+        )
+    if isinstance(expr, ast.LikePredicate):
+        negation = "NOT " if expr.negated else ""
+        escape = f" ESCAPE {render_expression(expr.escape)}" if expr.escape else ""
+        return (
+            f"({render_expression(expr.operand)} {negation}LIKE "
+            f"{render_expression(expr.pattern)}{escape})"
+        )
+    if isinstance(expr, ast.InPredicate):
+        negation = "NOT " if expr.negated else ""
+        if expr.subquery is not None:
+            inner = render_select(expr.subquery)
+        else:
+            inner = ", ".join(render_expression(value) for value in expr.values)
+        return f"({render_expression(expr.operand)} {negation}IN ({inner}))"
+    if isinstance(expr, ast.ExistsPredicate):
+        negation = "NOT " if expr.negated else ""
+        return f"({negation}EXISTS ({render_select(expr.subquery)}))"
+    if isinstance(expr, ast.ScalarSubquery):
+        return f"({render_select(expr.subquery)})"
+    raise ReproError(f"cannot render expression {type(expr).__name__}")
+
+
+def _render_literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, (int, Decimal)):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    raise ReproError(f"cannot render literal {value!r}")

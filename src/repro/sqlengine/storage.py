@@ -1,0 +1,103 @@
+"""Row storage with transactional undo.
+
+One :class:`TableData` per base table: rows are mutable lists so that
+updates can patch in place and the undo journal can restore prior
+values.  The journal lives in :mod:`repro.sqlengine.transactions`; this
+module only provides primitive mutations that report what they did.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+
+class TableData:
+    """Heap of rows for one table."""
+
+    def __init__(self, name: str, column_count: int) -> None:
+        self.name = name
+        self.column_count = column_count
+        self._rows: list[list[Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> list[list[Any]]:
+        """The live row list (callers must not mutate the list itself)."""
+        return self._rows
+
+    def snapshot(self) -> list[tuple[Any, ...]]:
+        """An immutable copy of all rows (for resync / comparison)."""
+        return [tuple(row) for row in self._rows]
+
+    def insert(self, values: Iterable[Any]) -> list[Any]:
+        row = list(values)
+        if len(row) != self.column_count:
+            raise ValueError(
+                f"row width {len(row)} != table width {self.column_count}"
+            )
+        self._rows.append(row)
+        return row
+
+    def delete_rows(self, predicate: Callable[[list[Any]], bool]) -> list[tuple[int, list[Any]]]:
+        """Delete matching rows; return (position, row) pairs for undo."""
+        removed: list[tuple[int, list[Any]]] = []
+        kept: list[list[Any]] = []
+        for position, row in enumerate(self._rows):
+            if predicate(row):
+                removed.append((position, row))
+            else:
+                kept.append(row)
+        self._rows = kept
+        return removed
+
+    def remove_row(self, row: list[Any]) -> None:
+        """Remove one row object (identity match), for undo of insert."""
+        for index, candidate in enumerate(self._rows):
+            if candidate is row:
+                del self._rows[index]
+                return
+        raise ValueError("row not present")  # pragma: no cover - undo invariant
+
+    def restore_rows(self, removed: list[tuple[int, list[Any]]]) -> None:
+        """Reinsert rows deleted by :meth:`delete_rows` at their positions."""
+        for position, row in sorted(removed, key=lambda item: item[0]):
+            self._rows.insert(min(position, len(self._rows)), row)
+
+    def add_column(self, default_value: Any) -> None:
+        """Widen every row for ALTER TABLE ADD COLUMN."""
+        self.column_count += 1
+        for row in self._rows:
+            row.append(default_value)
+
+    def clear(self) -> list[list[Any]]:
+        """Remove all rows, returning them for undo."""
+        rows, self._rows = self._rows, []
+        return rows
+
+
+class Storage:
+    """All table heaps of one database instance."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableData] = {}
+
+    def create(self, name: str, column_count: int) -> TableData:
+        key = name.lower()
+        if key in self._tables:
+            raise ValueError(f"storage for {name!r} already exists")
+        data = TableData(name, column_count)
+        self._tables[key] = data
+        return data
+
+    def get(self, name: str) -> TableData:
+        return self._tables[name.lower()]
+
+    def get_optional(self, name: str) -> Optional[TableData]:
+        return self._tables.get(name.lower())
+
+    def drop(self, name: str) -> Optional[TableData]:
+        return self._tables.pop(name.lower(), None)
+
+    def clear(self) -> None:
+        self._tables.clear()

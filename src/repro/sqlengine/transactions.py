@@ -1,0 +1,96 @@
+"""Transaction management via an undo journal.
+
+The engine runs in autocommit mode until ``BEGIN``; inside a
+transaction every mutation registers an inverse closure, and
+``ROLLBACK`` replays the journal backwards.  Savepoints are journal
+watermarks.  This is deliberately a single-session design: the study's
+unit of execution is one bug script against one server, and the
+middleware serialises writes across replicas anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import TransactionError
+
+UndoAction = Callable[[], None]
+
+
+class Transaction:
+    """One open transaction: an undo journal plus savepoint watermarks."""
+
+    def __init__(self) -> None:
+        self._journal: list[UndoAction] = []
+        self._savepoints: dict[str, int] = {}
+
+    def record(self, undo: UndoAction) -> None:
+        self._journal.append(undo)
+
+    def set_savepoint(self, name: str) -> None:
+        self._savepoints[name.lower()] = len(self._journal)
+
+    def rollback_to(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._savepoints:
+            raise TransactionError(f"savepoint {name!r} does not exist")
+        watermark = self._savepoints[key]
+        while len(self._journal) > watermark:
+            self._journal.pop()()
+        # Savepoints set after this one are gone.
+        self._savepoints = {
+            sp: mark for sp, mark in self._savepoints.items() if mark <= watermark
+        }
+
+    def rollback_all(self) -> None:
+        while self._journal:
+            self._journal.pop()()
+
+
+class TransactionManager:
+    """Owns the (at most one) active transaction of an engine."""
+
+    def __init__(self) -> None:
+        self._active: Optional[Transaction] = None
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._active is not None
+
+    def begin(self) -> None:
+        if self._active is not None:
+            raise TransactionError("a transaction is already in progress")
+        self._active = Transaction()
+
+    def commit(self) -> None:
+        if self._active is None:
+            raise TransactionError("no transaction in progress")
+        self._active = None
+
+    def rollback(self) -> None:
+        if self._active is None:
+            raise TransactionError("no transaction in progress")
+        self._active.rollback_all()
+        self._active = None
+
+    def savepoint(self, name: str) -> None:
+        if self._active is None:
+            raise TransactionError("SAVEPOINT requires a transaction")
+        self._active.set_savepoint(name)
+
+    def rollback_to_savepoint(self, name: str) -> None:
+        if self._active is None:
+            raise TransactionError("ROLLBACK TO requires a transaction")
+        self._active.rollback_to(name)
+
+    def record(self, undo: UndoAction) -> None:
+        """Journal an undo action if a transaction is open (no-op in
+        autocommit: the mutation is final immediately)."""
+        if self._active is not None:
+            self._active.record(undo)
+
+    def abort_if_open(self) -> None:
+        """Roll back any open transaction (crash / reset path)."""
+        if self._active is not None:
+            self._active.rollback_all()
+            self._active = None

@@ -1,0 +1,83 @@
+"""Resolution of dialect type-name spellings to engine types.
+
+The superset of the four products' spellings resolves here; which
+spellings a given *server* accepts is a dialect concern
+(:mod:`repro.dialects`), applied before execution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TypeMismatch
+from repro.sqlengine.types import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    FLOAT,
+    INTEGER,
+    SMALLINT,
+    SqlType,
+    TIMESTAMP,
+    char,
+    numeric,
+    varchar,
+)
+
+_INTEGER_NAMES = {"INTEGER", "INT", "INT4"}
+_SMALLINT_NAMES = {"SMALLINT", "INT2"}
+_BIGINT_NAMES = {"BIGINT", "INT8"}
+_DECIMAL_NAMES = {"NUMERIC", "DECIMAL", "DEC", "NUMBER"}
+_FLOAT_NAMES = {"FLOAT", "REAL", "DOUBLE PRECISION"}
+_CHAR_NAMES = {"CHAR", "CHARACTER", "NCHAR"}
+_VARCHAR_NAMES = {"VARCHAR", "CHARACTER VARYING", "VARCHAR2", "NVARCHAR", "TEXT"}
+_DATE_NAMES = {"DATE"}
+_TIMESTAMP_NAMES = {"TIMESTAMP", "DATETIME"}
+_BOOLEAN_NAMES = {"BOOLEAN", "BOOL"}
+
+ALL_TYPE_NAMES = frozenset(
+    _INTEGER_NAMES
+    | _SMALLINT_NAMES
+    | _BIGINT_NAMES
+    | _DECIMAL_NAMES
+    | _FLOAT_NAMES
+    | _CHAR_NAMES
+    | _VARCHAR_NAMES
+    | _DATE_NAMES
+    | _TIMESTAMP_NAMES
+    | _BOOLEAN_NAMES
+)
+
+
+def resolve_type(
+    name: str, args: tuple[Optional[int], Optional[int]] = (None, None)
+) -> SqlType:
+    """Resolve a type spelling plus optional (length|precision, scale)."""
+    upper = name.upper()
+    first, second = args
+    if upper in _INTEGER_NAMES:
+        return INTEGER
+    if upper in _SMALLINT_NAMES:
+        return SMALLINT
+    if upper in _BIGINT_NAMES:
+        return BIGINT
+    if upper in _DECIMAL_NAMES:
+        precision = first if first is not None else 18
+        scale = second if second is not None else 0
+        return numeric(precision, scale, name=upper)
+    if upper in _FLOAT_NAMES:
+        return FLOAT if upper == "FLOAT" else DOUBLE
+    if upper in _CHAR_NAMES:
+        return char(first if first is not None else 1, name=upper)
+    if upper in _VARCHAR_NAMES:
+        if upper == "TEXT":
+            return varchar(65535, name="TEXT")
+        return varchar(first if first is not None else 255, name=upper)
+    if upper in _DATE_NAMES:
+        return DATE
+    if upper in _TIMESTAMP_NAMES:
+        return TIMESTAMP
+    if upper in _BOOLEAN_NAMES:
+        return BOOLEAN
+    raise TypeMismatch(f"unknown type name {name!r}")

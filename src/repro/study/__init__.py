@@ -1,0 +1,37 @@
+"""The study harness: run every bug script on every server and classify.
+
+Reproduces the method of Section 3: each bug script is run on the
+server it was reported for and (after dialect translation) on every
+other server whose dialect can host it; each (bug, server) outcome is
+classified into the paper's taxonomy by comparing the faulty server's
+behaviour against a pristine oracle server of the same dialect.
+
+Public surface:
+
+* :func:`repro.study.runner.run_study` — execute the full study.
+* :mod:`repro.study.tables` — builders that regenerate Tables 1-4.
+"""
+
+from repro.study.classify import CellOutcome, OutcomeKind, classify_run
+from repro.study.runner import StudyResult, run_script, run_study
+from repro.study.tables import (
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    failure_type_shares,
+)
+
+__all__ = [
+    "CellOutcome",
+    "OutcomeKind",
+    "StudyResult",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "build_table4",
+    "classify_run",
+    "failure_type_shares",
+    "run_script",
+    "run_study",
+]

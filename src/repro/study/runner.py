@@ -1,0 +1,174 @@
+"""Study execution: run every bug script on every server, classify,
+and collect the per-cell outcomes the table builders consume."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bugs.corpus import Corpus, build_corpus
+from repro.bugs.report import BugReport
+from repro.dialects.features import SERVER_KEYS, dialect
+from repro.dialects.translator import render_tokens, translate_script
+from repro.errors import EngineCrash, FeatureNotSupported, ReproError, SqlError
+from repro.faults.spec import FaultSpec
+from repro.servers.product import ServerProduct
+from repro.sqlengine.lexer import tokenize
+from repro.sqlengine.tokens import TokenKind
+from repro.study.classify import (
+    CellOutcome,
+    OutcomeKind,
+    ScriptOutcome,
+    StatementOutcome,
+    classify_run,
+)
+
+
+def split_statements(sql: str) -> list[str]:
+    """Split a script into individual statements at top-level semicolons."""
+    statements: list[str] = []
+    current: list = []
+    for token in tokenize(sql):
+        if token.kind is TokenKind.EOF:
+            break
+        if token.kind is TokenKind.PUNCT and token.value == ";":
+            if current:
+                statements.append(render_tokens(current))
+                current = []
+            continue
+        current.append(token)
+    if current:
+        statements.append(render_tokens(current))
+    return statements
+
+
+def run_script(server: ServerProduct, sql: str) -> ScriptOutcome:
+    """Run a script statement by statement, like the study's client did:
+    errors are recorded and execution continues; a crash ends the run."""
+    outcome = ScriptOutcome()
+    for statement in split_statements(sql):
+        try:
+            result = server.execute(statement)
+        except EngineCrash:
+            outcome.statements.append(StatementOutcome(status="crash"))
+            outcome.crashed = True
+            break
+        except (SqlError, FeatureNotSupported) as error:
+            outcome.statements.append(
+                StatementOutcome(status="error", error=str(error))
+            )
+            continue
+        outcome.statements.append(
+            StatementOutcome(
+                status="ok",
+                columns=tuple(result.columns),
+                rows=tuple(result.rows),
+                rowcount=result.rowcount,
+                virtual_cost=result.virtual_cost,
+            )
+        )
+    return outcome
+
+
+@dataclass
+class StudyResult:
+    """All (bug, server) cell outcomes of one full study run."""
+
+    corpus: Corpus
+    cells: dict[tuple[str, str], CellOutcome] = field(default_factory=dict)
+
+    def outcome(self, bug_id: str, server: str) -> CellOutcome:
+        return self.cells[(bug_id, server)]
+
+    def ran_on(self, report: BugReport) -> frozenset[str]:
+        """Servers the bug's script actually ran on."""
+        return frozenset(
+            server
+            for server in SERVER_KEYS
+            if self.cells[(report.bug_id, server)].ran
+        )
+
+    def failed_on(self, report: BugReport) -> frozenset[str]:
+        return frozenset(
+            server
+            for server in SERVER_KEYS
+            if self.cells[(report.bug_id, server)].failed
+        )
+
+
+class StudyRunner:
+    """Runs the full study: one faulty + one pristine server per product,
+    reset between bug scripts."""
+
+    def __init__(
+        self,
+        corpus: Optional[Corpus] = None,
+        *,
+        stress_mode: bool = False,
+        seed: int = 0,
+        faults_by_server: Optional[dict[str, list[FaultSpec]]] = None,
+    ) -> None:
+        self.corpus = corpus or build_corpus()
+        faults = faults_by_server or self.corpus.faults_by_server()
+        self.faulty: dict[str, ServerProduct] = {
+            key: ServerProduct(
+                dialect(key), faults[key], seed=seed, stress_mode=stress_mode
+            )
+            for key in SERVER_KEYS
+        }
+        self.oracle: dict[str, ServerProduct] = {
+            key: ServerProduct(dialect(key)) for key in SERVER_KEYS
+        }
+        self._fault_index: dict[str, dict[str, FaultSpec]] = {
+            key: {fault.fault_id: fault for fault in faults[key]} for key in SERVER_KEYS
+        }
+
+    def run_cell(self, report: BugReport, target: str) -> CellOutcome:
+        """Classify one (bug, server) cell."""
+        if target != report.reported_for:
+            if target in report.translation_pending:
+                return CellOutcome(kind=OutcomeKind.FURTHER_WORK)
+            try:
+                script = translate_script(report.script, target)
+            except FeatureNotSupported as missing:
+                return CellOutcome(
+                    kind=OutcomeKind.CANNOT_RUN, missing_feature=missing.feature
+                )
+        else:
+            script = report.script
+
+        faulty_server = self.faulty[target]
+        oracle_server = self.oracle[target]
+        faulty_server.reset()
+        oracle_server.reset()
+        if faulty_server.crashed:  # pragma: no cover - reset clears crashes
+            faulty_server.restart()
+
+        before = set(faulty_server.injector.fired_fault_ids)
+        faulty = run_script(faulty_server, script)
+        fired = frozenset(faulty_server.injector.fired_fault_ids - before)
+        oracle = run_script(oracle_server, script)
+        return classify_run(faulty, oracle, fired, self._fault_index[target])
+
+    def run(self) -> StudyResult:
+        result = StudyResult(corpus=self.corpus)
+        for report in self.corpus:
+            for target in SERVER_KEYS:
+                result.cells[(report.bug_id, target)] = self.run_cell(report, target)
+        return result
+
+
+def run_study(
+    corpus: Optional[Corpus] = None,
+    *,
+    stress_mode: bool = False,
+    seed: int = 0,
+    faults_by_server: Optional[dict[str, list[FaultSpec]]] = None,
+) -> StudyResult:
+    """Run the complete study (181 bugs x 4 servers) and classify.
+
+    ``faults_by_server`` overrides the per-server fault catalogs (used
+    by the later-release study to model upgraded products)."""
+    return StudyRunner(
+        corpus, stress_mode=stress_mode, seed=seed, faults_by_server=faults_by_server
+    ).run()

@@ -1,0 +1,27 @@
+"""TPC-C-like workload for statistical testing (Section 7 future work).
+
+The paper reports running "a few million queries with various loads
+including experiments based on the TPC-C benchmark" against the diverse
+middleware.  This package provides the equivalent load: a scaled-down
+TPC-C-flavoured schema, deterministic data population, the five
+canonical transaction profiles, and a runner that drives any object
+with an ``execute(sql)`` method — a single :class:`ServerProduct` or a
+:class:`~repro.middleware.server.DiverseServer`.
+
+The SQL stays inside the four dialects' common subset (no outer joins,
+CASE, or LIMIT), exactly the restriction Section 2.1 describes for
+diverse replication.
+"""
+
+from repro.workload.generator import TpccGenerator, TransactionMix
+from repro.workload.runner import WorkloadMetrics, WorkloadRunner
+from repro.workload.schema import SCHEMA_STATEMENTS, populate_statements
+
+__all__ = [
+    "SCHEMA_STATEMENTS",
+    "TpccGenerator",
+    "TransactionMix",
+    "WorkloadMetrics",
+    "WorkloadRunner",
+    "populate_statements",
+]

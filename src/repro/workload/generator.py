@@ -1,0 +1,163 @@
+"""TPC-C-style transaction generation."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.workload import schema
+
+
+@dataclass(frozen=True)
+class TransactionMix:
+    """Relative weights of the five transaction profiles.
+
+    Defaults follow TPC-C's canonical mix (45/43/4/4/4).
+    """
+
+    new_order: float = 45.0
+    payment: float = 43.0
+    order_status: float = 4.0
+    delivery: float = 4.0
+    stock_level: float = 4.0
+
+    def choices(self) -> tuple[list[str], list[float]]:
+        names = ["new_order", "payment", "order_status", "delivery", "stock_level"]
+        weights = [
+            self.new_order,
+            self.payment,
+            self.order_status,
+            self.delivery,
+            self.stock_level,
+        ]
+        return names, weights
+
+
+@dataclass
+class Transaction:
+    """One generated transaction: a name plus its statement list."""
+
+    name: str
+    statements: list[str]
+    read_only: bool
+
+
+class TpccGenerator:
+    """Deterministic transaction stream over the scaled TPC-C schema."""
+
+    def __init__(self, *, seed: int = 0, mix: TransactionMix | None = None) -> None:
+        self._rng = random.Random(seed)
+        self.mix = mix or TransactionMix()
+        self._next_order_id = {d: 1 for d in range(1, schema.DISTRICTS + 1)}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _district(self) -> int:
+        return self._rng.randint(1, schema.DISTRICTS)
+
+    def _customer(self) -> int:
+        return self._rng.randint(1, schema.CUSTOMERS_PER_DISTRICT)
+
+    def _item(self) -> int:
+        return self._rng.randint(1, schema.ITEMS)
+
+    # -- transaction profiles -------------------------------------------------
+
+    def new_order(self) -> Transaction:
+        d_id = self._district()
+        c_id = self._customer()
+        o_id = self._next_order_id[d_id]
+        self._next_order_id[d_id] += 1
+        line_count = self._rng.randint(2, 5)
+        statements = [
+            "BEGIN",
+            f"SELECT c_last, c_credit FROM customer "
+            f"WHERE c_id = {c_id} AND c_d_id = {d_id} AND c_w_id = 1",
+            f"UPDATE district SET d_next_o_id = d_next_o_id + 1 "
+            f"WHERE d_id = {d_id} AND d_w_id = 1",
+            f"INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_carrier_id, o_ol_cnt) "
+            f"VALUES ({o_id}, {d_id}, 1, {c_id}, NULL, {line_count})",
+        ]
+        for number in range(1, line_count + 1):
+            i_id = self._item()
+            quantity = self._rng.randint(1, 5)
+            statements.append(
+                f"SELECT i_price FROM item WHERE i_id = {i_id}"
+            )
+            statements.append(
+                f"INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, "
+                f"ol_i_id, ol_quantity, ol_amount) "
+                f"VALUES ({o_id}, {d_id}, 1, {number}, {i_id}, {quantity}, "
+                f"{quantity * 2.50:.2f})"
+            )
+            statements.append(
+                f"UPDATE stock SET s_quantity = s_quantity - {quantity}, "
+                f"s_ytd = s_ytd + {quantity}, s_order_cnt = s_order_cnt + 1 "
+                f"WHERE s_i_id = {i_id} AND s_w_id = 1"
+            )
+        statements.append("COMMIT")
+        return Transaction("new_order", statements, read_only=False)
+
+    def payment(self) -> Transaction:
+        d_id = self._district()
+        c_id = self._customer()
+        amount = round(self._rng.uniform(1.0, 500.0), 2)
+        statements = [
+            "BEGIN",
+            f"UPDATE warehouse SET w_ytd = w_ytd + {amount} WHERE w_id = 1",
+            f"UPDATE district SET d_ytd = d_ytd + {amount} "
+            f"WHERE d_id = {d_id} AND d_w_id = 1",
+            f"UPDATE customer SET c_balance = c_balance - {amount}, "
+            f"c_ytd_payment = c_ytd_payment + {amount}, "
+            f"c_payment_cnt = c_payment_cnt + 1 "
+            f"WHERE c_id = {c_id} AND c_d_id = {d_id} AND c_w_id = 1",
+            f"INSERT INTO history (h_c_id, h_d_id, h_w_id, h_amount, h_data) "
+            f"VALUES ({c_id}, {d_id}, 1, {amount}, 'PAY_{d_id}_{c_id}')",
+            "COMMIT",
+        ]
+        return Transaction("payment", statements, read_only=False)
+
+    def order_status(self) -> Transaction:
+        d_id = self._district()
+        c_id = self._customer()
+        statements = [
+            f"SELECT c_balance, c_last FROM customer "
+            f"WHERE c_id = {c_id} AND c_d_id = {d_id} AND c_w_id = 1",
+            f"SELECT o_id, o_carrier_id, o_ol_cnt FROM orders "
+            f"WHERE o_d_id = {d_id} AND o_w_id = 1 AND o_c_id = {c_id} "
+            f"ORDER BY o_id DESC",
+            f"SELECT ol_number, ol_i_id, ol_quantity, ol_amount FROM order_line "
+            f"WHERE ol_d_id = {d_id} AND ol_w_id = 1 ORDER BY ol_o_id DESC, ol_number",
+        ]
+        return Transaction("order_status", statements, read_only=True)
+
+    def delivery(self) -> Transaction:
+        d_id = self._district()
+        carrier = self._rng.randint(1, 10)
+        statements = [
+            "BEGIN",
+            f"UPDATE orders SET o_carrier_id = {carrier} "
+            f"WHERE o_d_id = {d_id} AND o_w_id = 1 AND o_carrier_id IS NULL",
+            "COMMIT",
+        ]
+        return Transaction("delivery", statements, read_only=False)
+
+    def stock_level(self) -> Transaction:
+        d_id = self._district()
+        threshold = self._rng.randint(10, 45)
+        statements = [
+            f"SELECT COUNT(DISTINCT s_i_id) FROM stock, order_line "
+            f"WHERE ol_d_id = {d_id} AND ol_w_id = 1 AND s_i_id = ol_i_id "
+            f"AND s_w_id = 1 AND s_quantity < {threshold}",
+        ]
+        return Transaction("stock_level", statements, read_only=True)
+
+    # -- stream ------------------------------------------------------------------
+
+    def transactions(self, count: int) -> Iterator[Transaction]:
+        """Yield ``count`` transactions drawn from the mix."""
+        names, weights = self.mix.choices()
+        for _ in range(count):
+            name = self._rng.choices(names, weights)[0]
+            yield getattr(self, name)()

@@ -1,0 +1,135 @@
+"""Workload execution against any SQL endpoint (single server or
+diverse middleware) with dependability and throughput metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from repro.errors import AdjudicationFailure, EngineCrash, ReproError, SqlError
+from repro.workload.generator import TpccGenerator, Transaction
+from repro.workload.schema import SCHEMA_STATEMENTS, populate_statements
+
+
+class SqlEndpoint(Protocol):
+    """Anything accepting SQL: ServerProduct, DiverseServer, Connection."""
+
+    def execute(self, sql: str): ...
+
+
+@dataclass
+class WorkloadMetrics:
+    """Outcome of one workload run."""
+
+    transactions: int = 0
+    statements: int = 0
+    sql_errors: int = 0
+    detected_disagreements: int = 0
+    crashes: int = 0
+    aborted_transactions: int = 0
+    retried_successes: int = 0
+    exhausted_retries: int = 0
+    elapsed_seconds: float = 0.0
+    per_profile: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def statements_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.statements / self.elapsed_seconds
+
+    @property
+    def failure_free(self) -> bool:
+        return (
+            self.sql_errors == 0
+            and self.detected_disagreements == 0
+            and self.crashes == 0
+        )
+
+
+class WorkloadRunner:
+    """Drives a TPC-C-like stream through an endpoint.
+
+    ``retries`` enables the classical rollback-and-retry recovery the
+    paper contrasts diversity with (Section 2.1): an aborted transaction
+    is re-submitted up to that many times.  Retry tolerates *transient*
+    failures (Heisenbugs); deterministic Bohrbugs fail every attempt.
+    """
+
+    def __init__(self, endpoint: SqlEndpoint, *, seed: int = 0, retries: int = 0) -> None:
+        self.endpoint = endpoint
+        self.seed = seed
+        self.retries = retries
+
+    def setup(self) -> None:
+        """Create and populate the schema."""
+        for statement in SCHEMA_STATEMENTS:
+            self.endpoint.execute(statement)
+        for statement in populate_statements():
+            self.endpoint.execute(statement)
+
+    def run(
+        self,
+        transaction_count: int,
+        *,
+        generator: Optional[TpccGenerator] = None,
+    ) -> WorkloadMetrics:
+        """Run ``transaction_count`` transactions, collecting metrics.
+
+        A statement-level disagreement (detection by the middleware) or
+        SQL error aborts the enclosing transaction (rollback-and-
+        continue, the study's recovery baseline).
+        """
+        generator = generator or TpccGenerator(seed=self.seed)
+        metrics = WorkloadMetrics()
+        start = time.perf_counter()
+        for transaction in generator.transactions(transaction_count):
+            metrics.transactions += 1
+            metrics.per_profile[transaction.name] = (
+                metrics.per_profile.get(transaction.name, 0) + 1
+            )
+            self._run_transaction(transaction, metrics)
+        metrics.elapsed_seconds = time.perf_counter() - start
+        return metrics
+
+    def _run_transaction(self, transaction: Transaction, metrics: WorkloadMetrics) -> None:
+        for attempt in range(self.retries + 1):
+            if self._attempt(transaction, metrics):
+                if attempt > 0:
+                    metrics.retried_successes += 1
+                return
+        metrics.exhausted_retries += 1
+
+    def _attempt(self, transaction: Transaction, metrics: WorkloadMetrics) -> bool:
+        in_transaction = False
+        for statement in transaction.statements:
+            upper = statement.strip().upper()
+            try:
+                self.endpoint.execute(statement)
+                metrics.statements += 1
+                if upper == "BEGIN":
+                    in_transaction = True
+                elif upper in ("COMMIT", "ROLLBACK"):
+                    in_transaction = False
+            except AdjudicationFailure:
+                metrics.detected_disagreements += 1
+                self._abort(metrics, in_transaction)
+                return False
+            except EngineCrash:
+                metrics.crashes += 1
+                self._abort(metrics, in_transaction)
+                return False
+            except SqlError:
+                metrics.sql_errors += 1
+                self._abort(metrics, in_transaction)
+                return False
+        return True
+
+    def _abort(self, metrics: WorkloadMetrics, in_transaction: bool) -> None:
+        metrics.aborted_transactions += 1
+        if in_transaction:
+            try:
+                self.endpoint.execute("ROLLBACK")
+            except ReproError:
+                pass

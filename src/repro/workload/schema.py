@@ -1,0 +1,71 @@
+"""TPC-C-flavoured schema, scaled for in-memory simulation.
+
+Table and column names follow TPC-C's conventions; sizes are scaled
+down (one warehouse, a handful of districts/customers/items) because
+the study's point is the *failure behaviour* of the code path, not raw
+throughput of the toy engine.
+"""
+
+from __future__ import annotations
+
+SCHEMA_STATEMENTS: list[str] = [
+    "CREATE TABLE warehouse (w_id INTEGER PRIMARY KEY, w_name VARCHAR(10), "
+    "w_tax NUMERIC(4,4), w_ytd NUMERIC(12,2))",
+    "CREATE TABLE district (d_id INTEGER, d_w_id INTEGER, d_name VARCHAR(10), "
+    "d_tax NUMERIC(4,4), d_ytd NUMERIC(12,2), d_next_o_id INTEGER, "
+    "PRIMARY KEY (d_id, d_w_id))",
+    "CREATE TABLE customer (c_id INTEGER, c_d_id INTEGER, c_w_id INTEGER, "
+    "c_last VARCHAR(16), c_credit CHAR(2), c_balance NUMERIC(12,2), "
+    "c_ytd_payment NUMERIC(12,2), c_payment_cnt INTEGER, "
+    "PRIMARY KEY (c_id, c_d_id, c_w_id))",
+    "CREATE TABLE item (i_id INTEGER PRIMARY KEY, i_name VARCHAR(24), "
+    "i_price NUMERIC(5,2))",
+    "CREATE TABLE stock (s_i_id INTEGER, s_w_id INTEGER, s_quantity INTEGER, "
+    "s_ytd INTEGER, s_order_cnt INTEGER, PRIMARY KEY (s_i_id, s_w_id))",
+    "CREATE TABLE orders (o_id INTEGER, o_d_id INTEGER, o_w_id INTEGER, "
+    "o_c_id INTEGER, o_carrier_id INTEGER, o_ol_cnt INTEGER, "
+    "PRIMARY KEY (o_id, o_d_id, o_w_id))",
+    "CREATE TABLE order_line (ol_o_id INTEGER, ol_d_id INTEGER, ol_w_id INTEGER, "
+    "ol_number INTEGER, ol_i_id INTEGER, ol_quantity INTEGER, "
+    "ol_amount NUMERIC(6,2), PRIMARY KEY (ol_o_id, ol_d_id, ol_w_id, ol_number))",
+    "CREATE TABLE history (h_c_id INTEGER, h_d_id INTEGER, h_w_id INTEGER, "
+    "h_amount NUMERIC(6,2), h_data VARCHAR(24))",
+]
+
+#: Scale knobs.
+DISTRICTS = 2
+CUSTOMERS_PER_DISTRICT = 10
+ITEMS = 40
+INITIAL_STOCK = 50
+
+
+def populate_statements() -> list[str]:
+    """Deterministic initial population of the scaled schema."""
+    statements = [
+        "INSERT INTO warehouse (w_id, w_name, w_tax, w_ytd) "
+        "VALUES (1, 'W_ONE', 0.0500, 300000.00)",
+    ]
+    for d_id in range(1, DISTRICTS + 1):
+        statements.append(
+            "INSERT INTO district (d_id, d_w_id, d_name, d_tax, d_ytd, d_next_o_id) "
+            f"VALUES ({d_id}, 1, 'D_{d_id}', 0.0{d_id}00, 30000.00, 1)"
+        )
+        for c_id in range(1, CUSTOMERS_PER_DISTRICT + 1):
+            credit = "GC" if (c_id + d_id) % 5 else "BC"
+            statements.append(
+                "INSERT INTO customer (c_id, c_d_id, c_w_id, c_last, c_credit, "
+                "c_balance, c_ytd_payment, c_payment_cnt) "
+                f"VALUES ({c_id}, {d_id}, 1, 'CUST{d_id}_{c_id}', '{credit}', "
+                f"-10.00, 10.00, 1)"
+            )
+    for i_id in range(1, ITEMS + 1):
+        price = 1.00 + (i_id % 20) * 2.5
+        statements.append(
+            "INSERT INTO item (i_id, i_name, i_price) "
+            f"VALUES ({i_id}, 'ITEM_{i_id}', {price:.2f})"
+        )
+        statements.append(
+            "INSERT INTO stock (s_i_id, s_w_id, s_quantity, s_ytd, s_order_cnt) "
+            f"VALUES ({i_id}, 1, {INITIAL_STOCK}, 0, 0)"
+        )
+    return statements

@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+The corpus and the full study run are session-scoped: they are
+deterministic and read-only for the tests that consume them, and the
+full study (181 bugs x 4 servers, faulty + oracle runs) takes a few
+seconds we only want to pay once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bugs import build_corpus
+from repro.servers import make_all_servers, make_server
+from repro.sqlengine import Engine
+from repro.study import run_study
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine("test")
+
+
+@pytest.fixture
+def seeded_engine() -> Engine:
+    eng = Engine("test")
+    eng.execute(
+        "CREATE TABLE product (id INTEGER PRIMARY KEY, name VARCHAR(30), "
+        "price NUMERIC(8,2), qty INTEGER)"
+    )
+    eng.execute(
+        "INSERT INTO product (id, name, price, qty) VALUES "
+        "(1, 'widget', 9.50, 5), (2, 'gadget', 20.00, 2), "
+        "(3, 'nut', 0.25, 100), (4, 'bolt', 0.35, 80)"
+    )
+    return eng
+
+
+@pytest.fixture
+def servers():
+    return make_all_servers()
+
+
+@pytest.fixture
+def interbase():
+    return make_server("IB")
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return build_corpus()
+
+
+@pytest.fixture(scope="session")
+def study():
+    return run_study()

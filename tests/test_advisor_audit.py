@@ -1,0 +1,71 @@
+"""Deployment advisor and fault-audit tests."""
+
+import pytest
+
+from repro.faults.audit import audit_faults, dead_faults, shared_fault_coverage
+from repro.reliability.advisor import advise, recommend, score_configuration
+
+
+class TestAdvisor:
+    def test_scores_match_table3_evidence(self, study):
+        ib_pg = score_configuration(study, ("IB", "PG"))
+        assert ib_pg.shared_failure_bugs == 1     # 223512
+        assert ib_pg.nondetectable_bugs == 1      # identical DDL acceptance
+        ib_or = score_configuration(study, ("IB", "OR"))
+        assert ib_or.shared_failure_bugs == 0
+        assert ib_or.nondetectable_bugs == 0
+
+    def test_pairs_with_no_shared_bugs_rank_first(self, study):
+        ranked = recommend(study, sizes=(2,))
+        best = ranked[0]
+        assert best.shared_failure_bugs == 0
+        assert best.nondetectable_bugs == 0
+        assert set(best.members) in ({"IB", "OR"}, {"OR", "MS"})
+
+    def test_worst_pair_is_pg_ms(self, study):
+        ranked = recommend(study, sizes=(2,))
+        worst = ranked[-1]
+        assert set(worst.members) == {"PG", "MS"}  # 7 coincident bugs
+
+    def test_required_product_pins_membership(self, study):
+        ranked = recommend(study, required="PG")
+        assert all("PG" in score.members for score in ranked)
+
+    def test_triples_prefer_masking(self, study):
+        ranked = recommend(study, sizes=(3,))
+        assert all(score.can_mask for score in ranked)
+        # Striking consequence of the study's four non-detectable bugs:
+        # the poisoned pairs (IB+PG, IB+MS, PG+MS) intersect every
+        # possible triple, so NO 3-of-4 configuration is free of
+        # identical coincident failures — only the pair OR+{IB,MS} is.
+        assert all(score.nondetectable_bugs >= 1 for score in ranked)
+        best = ranked[0]
+        assert best.nondetectable_bugs == 1
+
+    def test_advise_text(self, study):
+        text = advise(study, "OR")
+        assert "Current product: OR" in text
+        assert "non-detectable" in text
+
+
+class TestFaultAudit:
+    def test_no_dead_faults_in_corpus(self, study):
+        """Every deterministic seeded fault fires somewhere: the corpus
+        scripts and triggers are in sync."""
+        assert dead_faults(study) == []
+
+    def test_heisenbugs_never_fire_in_normal_study(self, study):
+        audit = audit_faults(study)
+        for entries in audit.values():
+            for entry in entries:
+                if entry.heisenbug:
+                    assert entry.fired_on_bugs == [], entry.fault_id
+
+    def test_shared_pg_fault_covers_six_scripts(self, study):
+        coverage = shared_fault_coverage(study)
+        assert coverage.get("PG-CLUSTERED-INDEX") == 6
+
+    def test_audit_totals(self, study):
+        audit = audit_faults(study)
+        assert set(audit) == {"IB", "PG", "OR", "MS"}
+        assert len(audit["PG"]) == len(study.corpus.faults_for("PG"))

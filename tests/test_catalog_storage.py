@@ -1,0 +1,152 @@
+"""Catalog and storage unit tests (below the engine facade)."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.sqlengine.catalog import Catalog, ColumnDef, IndexDef, TableSchema, ViewDef
+from repro.sqlengine.parser import parse_statement
+from repro.sqlengine.storage import Storage, TableData
+from repro.sqlengine.types import INTEGER, varchar
+
+
+def schema(name="t", columns=("a", "b")):
+    return TableSchema(
+        name=name,
+        columns=[ColumnDef(c, INTEGER) for c in columns],
+    )
+
+
+class TestCatalog:
+    def test_case_insensitive_lookup(self):
+        catalog = Catalog()
+        catalog.add_table(schema("MyTable"))
+        assert catalog.has_table("mytable")
+        assert catalog.table("MYTABLE").name == "MyTable"
+
+    def test_column_index_case_insensitive(self):
+        table = schema(columns=("Alpha", "Beta"))
+        assert table.column_index("alpha") == 0
+        assert table.column_index("BETA") == 1
+        with pytest.raises(CatalogError):
+            table.column_index("gamma")
+
+    def test_view_table_cross_errors(self):
+        catalog = Catalog()
+        catalog.add_table(schema("t"))
+        view = ViewDef("v", parse_statement("SELECT 1"))
+        catalog.add_view(view)
+        with pytest.raises(CatalogError, match="is a view"):
+            catalog.table("v")
+        with pytest.raises(CatalogError, match="use DROP VIEW"):
+            catalog.drop_table("v")
+        with pytest.raises(CatalogError, match="use DROP TABLE"):
+            catalog.drop_view("t")
+
+    def test_drop_table_on_view_with_override(self):
+        # The bug-223512 escape hatch, used via the behaviour flag.
+        catalog = Catalog()
+        catalog.add_view(ViewDef("v", parse_statement("SELECT 1")))
+        assert catalog.drop_table("v", allow_view=True) == "view"
+        assert not catalog.has_view("v")
+
+    def test_drop_table_cascades_indexes(self):
+        catalog = Catalog()
+        catalog.add_table(schema("t"))
+        catalog.add_index(IndexDef("ix", "t", ["a"]))
+        catalog.drop_table("t")
+        with pytest.raises(CatalogError):
+            catalog.index("ix")
+
+    def test_index_requires_existing_columns(self):
+        catalog = Catalog()
+        catalog.add_table(schema("t"))
+        with pytest.raises(CatalogError):
+            catalog.add_index(IndexDef("ix", "t", ["ghost"]))
+
+    def test_indexes_on_filters_by_table(self):
+        catalog = Catalog()
+        catalog.add_table(schema("t1"))
+        catalog.add_table(schema("t2"))
+        catalog.add_index(IndexDef("ix1", "t1", ["a"]))
+        catalog.add_index(IndexDef("ix2", "t2", ["a"]))
+        assert [ix.name for ix in catalog.indexes_on("t1")] == ["ix1"]
+
+    def test_clear(self):
+        catalog = Catalog()
+        catalog.add_table(schema("t"))
+        catalog.clear()
+        assert not catalog.tables()
+
+    def test_view_has_distinct_detection(self):
+        plain = ViewDef("v1", parse_statement("SELECT a FROM t"))
+        distinct = ViewDef("v2", parse_statement("SELECT DISTINCT a FROM t"))
+        union_distinct = ViewDef(
+            "v3", parse_statement("SELECT a FROM t UNION ALL SELECT DISTINCT b FROM u")
+        )
+        assert not plain.has_distinct
+        assert distinct.has_distinct
+        assert union_distinct.has_distinct
+
+
+class TestTableData:
+    def test_insert_and_len(self):
+        data = TableData("t", 2)
+        data.insert([1, "x"])
+        assert len(data) == 1
+
+    def test_width_enforced(self):
+        data = TableData("t", 2)
+        with pytest.raises(ValueError):
+            data.insert([1])
+
+    def test_delete_returns_positions(self):
+        data = TableData("t", 1)
+        for value in range(5):
+            data.insert([value])
+        removed = data.delete_rows(lambda row: row[0] % 2 == 0)
+        assert [position for position, _ in removed] == [0, 2, 4]
+        assert len(data) == 2
+
+    def test_restore_rows_reinserts_in_place(self):
+        data = TableData("t", 1)
+        for value in range(5):
+            data.insert([value])
+        removed = data.delete_rows(lambda row: row[0] in (1, 3))
+        data.restore_rows(removed)
+        assert [row[0] for row in data.rows()] == [0, 1, 2, 3, 4]
+
+    def test_remove_row_by_identity(self):
+        data = TableData("t", 1)
+        row = data.insert([7])
+        data.insert([7])  # equal but distinct object
+        data.remove_row(row)
+        assert len(data) == 1
+
+    def test_add_column_backfills(self):
+        data = TableData("t", 1)
+        data.insert([1])
+        data.add_column("fill")
+        assert data.rows()[0] == [1, "fill"]
+        assert data.column_count == 2
+
+    def test_snapshot_is_immutable_copy(self):
+        data = TableData("t", 1)
+        data.insert([1])
+        snap = data.snapshot()
+        data.rows()[0][0] = 99
+        assert snap == [(1,)]
+
+
+class TestStorage:
+    def test_create_get_drop(self):
+        storage = Storage()
+        storage.create("t", 2)
+        assert storage.get("T").name == "t"
+        assert storage.drop("t") is not None
+        assert storage.get_optional("t") is None
+
+    def test_duplicate_create_rejected(self):
+        storage = Storage()
+        storage.create("t", 1)
+        with pytest.raises(ValueError):
+            storage.create("T", 1)

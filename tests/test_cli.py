@@ -1,0 +1,23 @@
+"""CLI smoke tests (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_tables_command_reports_exact(self, capsys):
+        assert main(["tables"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1: EXACT" in output
+        assert "Table 3: EXACT" in output
+        assert "Table 4: EXACT" in output
+
+    def test_tpcc_command(self, capsys):
+        assert main(["tpcc", "10"]) == 0
+        output = capsys.readouterr().out
+        assert "1v IB" in output and "2v IB+OR" in output
+
+    def test_unknown_command_prints_usage(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "Commands" in capsys.readouterr().out

@@ -1,0 +1,194 @@
+"""Built-in scalar function and aggregate accumulator tests."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import BindError, DivisionByZero, TypeMismatch
+from repro.sqlengine.functions import (
+    Accumulator,
+    fn_convert,
+    fn_decode,
+    fn_gen_id,
+    fn_getdate,
+    fn_mod,
+    lookup_scalar,
+)
+
+
+def call(name, *args):
+    return lookup_scalar(name)(None, *args)
+
+
+class TestNumericFunctions:
+    def test_abs(self):
+        assert call("ABS", -5) == 5
+        assert call("ABS", Decimal("-2.5")) == Decimal("2.5")
+        assert call("ABS", None) is None
+
+    def test_mod_integers(self):
+        assert call("MOD", 7, 3) == 1
+        assert call("MOD", -7, 3) == -1  # truncation semantics
+
+    def test_mod_decimals(self):
+        assert call("MOD", Decimal("10.5"), 3) == Decimal("1.5")
+
+    def test_mod_by_zero(self):
+        with pytest.raises(DivisionByZero):
+            call("MOD", 5, 0)
+
+    def test_mod_precision_flag(self):
+        class Ctx:
+            def flag(self, name):
+                return name == "mod_precision_bug"
+
+        clean = fn_mod(None, Decimal("10.5"), 3)
+        buggy = fn_mod(Ctx(), Decimal("10.5"), 3)
+        assert clean == Decimal("1.5")
+        assert buggy != Decimal("1.5")
+        assert abs(float(buggy) - 1.5) < 1e-5  # tiny drift, not garbage
+        # Integer operands keep exact semantics even with the flag.
+        assert fn_mod(Ctx(), 7, 3) == 1
+
+    def test_round(self):
+        assert call("ROUND", Decimal("3.456"), 2) == Decimal("3.46")
+        assert call("ROUND", 3.456) == 3.0
+
+    def test_floor_ceiling(self):
+        assert call("FLOOR", Decimal("2.9")) == 2
+        assert call("CEILING", Decimal("2.1")) == 3
+        assert call("CEIL", 2.1) == 3
+
+    def test_power_sqrt(self):
+        assert call("POWER", 2, 10) == 1024.0
+        assert call("SQRT", 16) == 4.0
+        with pytest.raises(TypeMismatch):
+            call("SQRT", -1)
+
+
+class TestStringFunctions:
+    def test_upper_lower(self):
+        assert call("UPPER", "abc") == "ABC"
+        assert call("LOWER", "ABC") == "abc"
+
+    def test_length_variants(self):
+        for name in ("LENGTH", "CHAR_LENGTH", "LEN"):
+            assert call(name, "hello") == 5
+
+    def test_trims(self):
+        assert call("TRIM", "  x  ") == "x"
+        assert call("LTRIM", "  x") == "x"
+        assert call("RTRIM", "x  ") == "x"
+
+    def test_substring_one_based(self):
+        assert call("SUBSTRING", "hello", 2, 3) == "ell"
+        assert call("SUBSTR", "hello", 2) == "ello"
+
+    def test_substring_out_of_range(self):
+        assert call("SUBSTRING", "hi", 5, 3) == ""
+        with pytest.raises(TypeMismatch):
+            call("SUBSTRING", "hi", 1, -1)
+
+    def test_replace(self):
+        assert call("REPLACE", "a-b-c", "-", "+") == "a+b+c"
+
+    def test_string_function_on_number(self):
+        assert call("UPPER", 5) == "5"  # numbers render to text first
+
+
+class TestNullHandling:
+    @pytest.mark.parametrize(
+        "name,args",
+        [
+            ("UPPER", (None,)),
+            ("LENGTH", (None,)),
+            ("SUBSTRING", (None, 1)),
+            ("MOD", (None, 2)),
+            ("ROUND", (None,)),
+            ("REPLACE", ("x", None, "y")),
+        ],
+    )
+    def test_null_propagation(self, name, args):
+        assert call(name, *args) is None
+
+    def test_coalesce(self):
+        assert call("COALESCE", None, None, 3, 4) == 3
+        assert call("COALESCE", None, None) is None
+        assert call("NVL", None, "d") == "d"
+        assert call("IFNULL", 1, 2) == 1
+
+    def test_nullif(self):
+        assert call("NULLIF", 5, 5) is None
+        assert call("NULLIF", 5, 6) == 5
+        assert call("NULLIF", None, 5) is None
+
+
+class TestVendorExtensions:
+    def test_gen_id(self):
+        assert fn_gen_id(None, "seq", 1) == 1
+        assert fn_gen_id(None, "seq", None) is None
+
+    def test_decode_matches(self):
+        assert fn_decode(None, 2, 1, "one", 2, "two", "other") == "two"
+        assert fn_decode(None, 9, 1, "one", "other") == "other"
+        assert fn_decode(None, 9, 1, "one") is None
+
+    def test_decode_null_equals_null(self):
+        # The semantic difference from CASE that blocks translation.
+        assert fn_decode(None, None, None, "both-null", "other") == "both-null"
+
+    def test_decode_needs_pairs(self):
+        with pytest.raises(TypeMismatch):
+            fn_decode(None, 1, 2)
+
+    def test_getdate_pinned(self):
+        assert fn_getdate(None) == datetime.datetime(2003, 8, 1, 12, 0, 0)
+
+    def test_convert(self):
+        assert fn_convert(None, 42, "VARCHAR") == "42"
+        assert fn_convert(None, "3.5", "FLOAT") == 3.5
+        assert fn_convert(None, 42) == 42
+
+    def test_unknown_function(self):
+        with pytest.raises(BindError):
+            lookup_scalar("FROBNICATE")
+
+
+class TestAccumulators:
+    def make(self, name, values, distinct=False, star=False):
+        acc = Accumulator(name, distinct, star)
+        for value in values:
+            acc.add(value)
+        return acc.result()
+
+    def test_count_star_counts_everything(self):
+        acc = Accumulator("COUNT", False, True)
+        for _ in range(5):
+            acc.add(None)
+        assert acc.result() == 5
+
+    def test_count_skips_nulls(self):
+        assert self.make("COUNT", [1, None, 2, None]) == 2
+
+    def test_sum_avg(self):
+        assert self.make("SUM", [1, 2, 3]) == 6
+        assert self.make("AVG", [1, 2, 3]) == Decimal(2)
+
+    def test_avg_exact_division(self):
+        assert self.make("AVG", [1, 2]) == Decimal("1.5")
+
+    def test_sum_of_nothing_is_null(self):
+        assert self.make("SUM", [None, None]) is None
+        assert self.make("AVG", []) is None
+
+    def test_min_max(self):
+        assert self.make("MIN", [3, 1, 2]) == 1
+        assert self.make("MAX", ["a", "c", "b"]) == "c"
+
+    def test_distinct_aggregation(self):
+        assert self.make("COUNT", [1, 1, 2, 2, 3], distinct=True) == 3
+        assert self.make("SUM", [5, 5, 5], distinct=True) == 5
+
+    def test_distinct_cross_type_equality(self):
+        assert self.make("COUNT", [1, Decimal("1.0"), 1.0], distinct=True) == 1

@@ -1,0 +1,109 @@
+"""Arithmetic self-checks on the frozen ground truth: the solved cell
+tables must be internally consistent with the published marginals
+before any SQL runs (fast guards for future edits)."""
+
+import pytest
+
+from repro.bugs import groundtruth as gt
+from repro.bugs.notable import NOTABLE_CELLS
+
+
+class TestCellArithmetic:
+    def test_cell_totals_match_server_counts(self):
+        expected = {"IB": 55, "PG": 57, "OR": 18, "MS": 51}
+        for server, cells in gt.CELLS.items():
+            assert sum(n for _, n, _, _ in cells) == expected[server]
+
+    def test_failing_never_exceeds_total(self):
+        for server, cells in gt.CELLS.items():
+            for group, total, failing, self_evident in cells:
+                assert 0 <= self_evident <= failing <= total, (server, group)
+
+    def test_group_totals_match_table2(self):
+        sums: dict[str, int] = {}
+        for cells in gt.CELLS.values():
+            for group, total, _, _ in cells:
+                sums[group] = sums.get(group, 0) + total
+        for group, (total, *_rest) in gt.PAPER_TABLE2.items():
+            assert sums.get(group, 0) == total, group
+
+    def test_home_failures_match_table1(self):
+        for server, cells in gt.CELLS.items():
+            failing = sum(f for _, _, f, _ in cells)
+            assert failing == gt.PAPER_TABLE1[server][server]["failure"]
+
+    def test_se_pools_match_table1_self_evident_totals(self):
+        from repro.faults.spec import FailureKind as K
+
+        for server, pool in gt.SE_POOLS.items():
+            home = gt.PAPER_TABLE1[server][server]
+            assert len(pool) == (
+                home["perf"] + home["crash"] + home["inc_se"] + home["other_se"]
+            )
+            assert pool.count(K.PERFORMANCE) == home["perf"]
+            assert pool.count(K.ENGINE_CRASH) == home["crash"]
+
+    def test_nse_pools_match_table1(self):
+        from repro.faults.spec import FailureKind as K
+
+        for server, pool in gt.NSE_POOLS.items():
+            home = gt.PAPER_TABLE1[server][server]
+            assert pool.count(K.INCORRECT_RESULT) == home["inc_nse"]
+            assert pool.count(K.OTHER) == home["other_nse"]
+
+    def test_run_counts_match_cells(self):
+        short = {"IB": "I", "PG": "P", "OR": "O", "MS": "M"}
+        for server, cells in gt.CELLS.items():
+            for target, expected in gt.PAPER_TABLE1[server].items():
+                runnable = sum(
+                    n for group, n, _, _ in cells if short[target] in group
+                )
+                assert runnable == expected["run"], (server, target)
+
+    def test_further_work_totals(self):
+        for server, targets in gt.FURTHER_WORK.items():
+            for target, allocations in targets.items():
+                expected = gt.PAPER_TABLE1[server][target]["further_work"]
+                assert sum(count for _, count in allocations) == expected
+
+    def test_further_work_fits_inside_cells(self):
+        cell_sizes = {
+            (server, group): total
+            for server, cells in gt.CELLS.items()
+            for group, total, _, _ in cells
+        }
+        notable_per_cell: dict[tuple, int] = {}
+        for cell in NOTABLE_CELLS.values():
+            notable_per_cell[cell] = notable_per_cell.get(cell, 0) + 1
+        for server, targets in gt.FURTHER_WORK.items():
+            per_cell: dict[str, int] = {}
+            for allocations in targets.values():
+                for group, count in allocations:
+                    per_cell[group] = per_cell.get(group, 0) + count
+            for group, used in per_cell.items():
+                capacity = cell_sizes[(server, group)] - notable_per_cell.get(
+                    (server, group), 0
+                )
+                assert used <= capacity, (server, group)
+
+    def test_feature_choices_cover_all_needed_support_sets(self):
+        needed = set()
+        for server, cells in gt.CELLS.items():
+            for group, *_ in cells:
+                needed.add(group)
+        for server, targets in gt.FURTHER_WORK.items():
+            for target, allocations in targets.items():
+                for group, _ in allocations:
+                    expanded = gt.expand_group(group) | {target}
+                    needed.add(gt.canonical_group(frozenset(expanded)))
+        for group in needed:
+            assert group in gt.FEATURE_CHOICES, group
+
+    def test_notable_cells_reference_real_cells(self):
+        cell_keys = {
+            (server, group)
+            for server, cells in gt.CELLS.items()
+            for group, *_ in cells
+        }
+        for bug_id, cell in NOTABLE_CELLS.items():
+            assert cell in cell_keys, bug_id

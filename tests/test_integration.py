@@ -1,0 +1,167 @@
+"""End-to-end integration scenarios spanning multiple subsystems."""
+
+import pytest
+
+from repro.bugs import build_corpus
+from repro.errors import AdjudicationFailure
+from repro.middleware import DiverseServer
+from repro.servers import make_server
+from repro.study.runner import StudyRunner, run_script
+
+
+class TestNotableBugsEndToEnd:
+    """Each Section-5 bug behaves as the paper describes, end to end."""
+
+    def test_223512_drop_table_on_view(self, corpus):
+        report = corpus.get("IB-223512")
+        faulty = make_server("IB", corpus.faults_for("IB"))
+        outcome = run_script(faulty, report.script)
+        # The final DROP TABLE succeeded on the faulty server...
+        assert outcome.statements[-1].status == "ok"
+        # ...while a pristine server rejects it.
+        pristine = make_server("IB")
+        oracle = run_script(pristine, report.script)
+        assert oracle.statements[-1].status == "error"
+
+    def test_217042_default_detected_with_high_latency(self, corpus):
+        report = corpus.get("IB-217042")
+        faulty = make_server("MS", corpus.faults_for("MS"))
+        from repro.dialects import translate_script
+
+        outcome = run_script(faulty, translate_script(report.script, "MS"))
+        # CREATE succeeds (the bug); the later INSERT errs (the latency).
+        assert outcome.statements[0].status == "ok"
+        assert outcome.statements[1].status == "error"
+
+    def test_222476_empty_field_names(self, corpus):
+        report = corpus.get("IB-222476")
+        faulty = make_server("IB", corpus.faults_for("IB"))
+        outcome = run_script(faulty, report.script)
+        final = outcome.statements[-1]
+        assert final.status == "ok"
+        assert final.columns == ("", "")
+        # Values are still correct — only the names are lost.
+        pristine = run_script(make_server("IB"), report.script)
+        assert final.rows == pristine.statements[-1].rows
+
+    def test_pg43_different_failure_patterns(self, corpus):
+        report = corpus.get("PG-43")
+        pg = make_server("PG", corpus.faults_for("PG"))
+        ms = make_server("MS", corpus.faults_for("MS"))
+        from repro.dialects import translate_script
+
+        pg_out = run_script(pg, report.script)
+        ms_out = run_script(ms, translate_script(report.script, "MS"))
+        pg_err = [s.error for s in pg_out.statements if s.status == "error"]
+        ms_err = [s.error for s in ms_out.statements if s.status == "error"]
+        assert pg_err and ms_err
+        assert pg_err != ms_err  # "the two servers fail with different patterns"
+
+    def test_58544_identical_wrong_rows(self, corpus):
+        report = corpus.get("MS-58544")
+        from repro.dialects import translate_script
+
+        ms = make_server("MS", corpus.faults_for("MS"))
+        ib = make_server("IB", corpus.faults_for("IB"))
+        ms_out = run_script(ms, report.script)
+        ib_out = run_script(ib, translate_script(report.script, "IB"))
+        assert ms_out.statements[-1].rows == ib_out.statements[-1].rows
+        pristine = run_script(make_server("MS"), report.script)
+        assert ms_out.statements[-1].rows != pristine.statements[-1].rows
+
+    def test_clustered_scripts_fail_pg_at_index_creation(self, corpus):
+        from repro.dialects import translate_script
+
+        pg = make_server("PG", corpus.faults_for("PG"))
+        report = corpus.get("MS-54428")
+        outcome = run_script(pg, translate_script(report.script, "PG"))
+        statuses = [s.status for s in outcome.statements]
+        # The CREATE CLUSTERED INDEX statement (index 5) errors...
+        assert statuses[5] == "error"
+        # ..."at the beginning of the bug script", before the probe query.
+        pg.reset()
+
+
+class TestDiverseServerToleratesCorpusBugs:
+    """The middleware the paper motivates, facing the actual corpus bug:
+    a diverse pair detects what a non-diverse pair cannot."""
+
+    def test_diverse_pair_detects_58544(self, corpus):
+        report = corpus.get("MS-58544")
+        server = DiverseServer(
+            [
+                make_server("MS", corpus.faults_for("MS")),
+                make_server("OR", corpus.faults_for("OR")),
+            ],
+            adjudication="compare",
+            auto_recover=False,
+        )
+        detected = False
+        for statement in report.script.rstrip(";").split(";\n"):
+            try:
+                server.execute(statement)
+            except AdjudicationFailure:
+                detected = True
+        assert detected  # OR answers correctly; MS's wrong rows disagree
+
+    def test_nondetectable_pair_slips_through(self, corpus):
+        # IB+MS share bug 58544's behaviour: identical wrong answers agree.
+        report = corpus.get("MS-58544")
+        server = DiverseServer(
+            [
+                make_server("IB", corpus.faults_for("IB")),
+                make_server("MS", corpus.faults_for("MS")),
+            ],
+            adjudication="compare",
+            auto_recover=False,
+        )
+        for statement in report.script.rstrip(";").split(";\n"):
+            server.execute(statement)  # no AdjudicationFailure raised
+        assert server.stats.disagreements_detected == 0
+
+    def test_triple_masks_58544(self, corpus):
+        report = corpus.get("MS-58544")
+        server = DiverseServer(
+            [
+                make_server("MS", corpus.faults_for("MS")),
+                make_server("OR", corpus.faults_for("OR")),
+                make_server("IB", []),  # pristine third opinion
+            ],
+            adjudication="majority",
+            auto_recover=False,
+        )
+        for statement in report.script.rstrip(";").split(";\n"):
+            server.execute(statement)
+        assert server.stats.failures_masked >= 1
+
+
+class TestStudyRunnerPieces:
+    def test_run_cell_dialect_gating(self, corpus):
+        runner = StudyRunner(corpus)
+        report = corpus.get("OR-1059835")  # fn.MOD: PG+OR only
+        from repro.study import OutcomeKind
+
+        assert runner.run_cell(report, "IB").kind is OutcomeKind.CANNOT_RUN
+        assert runner.run_cell(report, "MS").kind is OutcomeKind.CANNOT_RUN
+        assert runner.run_cell(report, "PG").failed
+        assert runner.run_cell(report, "OR").failed
+
+    def test_run_cell_further_work(self, corpus):
+        runner = StudyRunner(corpus)
+        from repro.study import OutcomeKind
+
+        pending = next(r for r in corpus if r.translation_pending)
+        target = next(iter(pending.translation_pending))
+        assert runner.run_cell(pending, target).kind is OutcomeKind.FURTHER_WORK
+
+    def test_corpus_rebuild_and_rerun_is_stable(self):
+        corpus_a = build_corpus()
+        corpus_b = build_corpus()
+        runner_a = StudyRunner(corpus_a)
+        runner_b = StudyRunner(corpus_b)
+        report_a = corpus_a.get("PG-77")
+        report_b = corpus_b.get("PG-77")
+        cell_a = runner_a.run_cell(report_a, "MS")
+        cell_b = runner_b.run_cell(report_b, "MS")
+        assert cell_a.failure_kind == cell_b.failure_kind
+        assert cell_a.faulty.signature() == cell_b.faulty.signature()

@@ -1,0 +1,142 @@
+"""Tokeniser unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sqlengine.lexer import tokenize
+from repro.sqlengine.tokens import TokenKind
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)][:-1]  # drop EOF
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)][:-1]
+
+
+class TestBasicTokens:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:3]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:3])
+
+    def test_identifiers_preserve_case(self):
+        token = tokenize("MyTable")[0]
+        assert token.kind is TokenKind.IDENTIFIER
+        assert token.value == "MyTable"
+
+    def test_identifier_with_underscore_and_digits(self):
+        token = tokenize("t_1_x2")[0]
+        assert token.kind is TokenKind.IDENTIFIER
+        assert token.value == "t_1_x2"
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+        assert tokenize("SELECT")[-1].kind is TokenKind.EOF
+
+    def test_punctuation(self):
+        assert kinds("(),.;") == [TokenKind.PUNCT] * 5
+
+    def test_keyword_check_helper(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("SELECT", "INSERT")
+        assert not token.is_keyword("INSERT")
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "hello"
+
+    def test_quote_escape_doubling(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_string_with_special_chars(self):
+        assert tokenize("'a-b c.d;'")[0].value == "a-b c.d;"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'abc")
+
+    def test_quoted_identifier(self):
+        token = tokenize('"Mixed Case"')[0]
+        assert token.kind is TokenKind.QUOTED_IDENTIFIER
+        assert token.value == "Mixed Case"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("text", ["0", "42", "123456789"])
+    def test_integers(self, text):
+        token = tokenize(text)[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.value == text
+
+    @pytest.mark.parametrize("text", ["1.5", "0.25", "10.00"])
+    def test_decimals(self, text):
+        assert tokenize(text)[0].value == text
+
+    def test_leading_dot(self):
+        assert tokenize(".5")[0].value == ".5"
+
+    @pytest.mark.parametrize("text", ["1e5", "1.5E-3", "2e+10"])
+    def test_scientific(self, text):
+        assert tokenize(text)[0].value == text
+
+    def test_number_then_dot_identifier(self):
+        # "1.e" is number "1." followed by identifier (not scientific).
+        tokens = tokenize("1.x")
+        assert tokens[0].value == "1."
+        assert tokens[1].value == "x"
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<>", "<=", ">=", "!=", "||"])
+    def test_multi_char(self, op):
+        token = tokenize(op)[0]
+        assert token.kind is TokenKind.OPERATOR
+        assert token.value == op
+
+    def test_greedy_matching(self):
+        assert values("a<=b") == ["a", "<=", "b"]
+
+    def test_single_char_operators(self):
+        assert values("1+2-3*4/5%6") == ["1", "+", "2", "-", "3", "*", "4", "/", "5", "%", "6"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT @")
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment(self):
+        assert values("SELECT -- comment\n 1") == ["SELECT", "1"]
+
+    def test_line_comment_at_eof(self):
+        assert values("SELECT 1 -- done") == ["SELECT", "1"]
+
+    def test_block_comment(self):
+        assert values("SELECT /* multi\nline */ 1") == ["SELECT", "1"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT /* oops")
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("SELECT\n\n1")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 3
+
+    def test_extra_keywords(self):
+        tokens = tokenize("clustered", extra_keywords=["CLUSTERED"])
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[0].value == "CLUSTERED"

@@ -1,0 +1,369 @@
+"""Parser unit tests."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.parser import parse_script, parse_statement
+
+
+def select_core(sql) -> ast.SelectCore:
+    stmt = parse_statement(sql)
+    assert isinstance(stmt, ast.SelectStatement)
+    assert isinstance(stmt.body, ast.SelectCore)
+    return stmt.body
+
+
+class TestSelect:
+    def test_simple_select(self):
+        core = select_core("SELECT a, b FROM t")
+        assert len(core.items) == 2
+        assert isinstance(core.from_items[0], ast.TableRef)
+        assert core.from_items[0].name == "t"
+
+    def test_select_star(self):
+        core = select_core("SELECT * FROM t")
+        assert isinstance(core.items[0].expression, ast.Star)
+
+    def test_qualified_star(self):
+        core = select_core("SELECT t.* FROM t")
+        star = core.items[0].expression
+        assert isinstance(star, ast.Star)
+        assert star.table == "t"
+
+    def test_aliases(self):
+        core = select_core("SELECT a AS x, b y FROM t")
+        assert core.items[0].alias == "x"
+        assert core.items[1].alias == "y"
+
+    def test_distinct(self):
+        assert select_core("SELECT DISTINCT a FROM t").distinct
+        assert not select_core("SELECT ALL a FROM t").distinct
+
+    def test_where_group_having(self):
+        core = select_core(
+            "SELECT a, COUNT(*) FROM t WHERE b > 1 GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert core.where is not None
+        assert len(core.group_by) == 1
+        assert core.having is not None
+
+    def test_order_by_and_limit(self):
+        stmt = parse_statement("SELECT a FROM t ORDER BY a DESC, b LIMIT 5")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert stmt.limit == 5
+
+    def test_select_without_from(self):
+        core = select_core("SELECT 1")
+        assert core.from_items == []
+        assert isinstance(core.items[0].expression, ast.Literal)
+
+    def test_table_alias(self):
+        core = select_core("SELECT p.a FROM product p")
+        assert core.from_items[0].alias == "p"
+        assert core.from_items[0].binding_name == "p"
+
+    def test_derived_table(self):
+        core = select_core("SELECT x FROM (SELECT a AS x FROM t) d")
+        sub = core.from_items[0]
+        assert isinstance(sub, ast.SubqueryRef)
+        assert sub.alias == "d"
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT x FROM (SELECT a FROM t)")
+
+
+class TestJoins:
+    @pytest.mark.parametrize(
+        "sql,kind",
+        [
+            ("SELECT 1 FROM a JOIN b ON a.x = b.x", "INNER"),
+            ("SELECT 1 FROM a INNER JOIN b ON a.x = b.x", "INNER"),
+            ("SELECT 1 FROM a LEFT JOIN b ON a.x = b.x", "LEFT"),
+            ("SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.x", "LEFT"),
+            ("SELECT 1 FROM a RIGHT OUTER JOIN b ON a.x = b.x", "RIGHT"),
+            ("SELECT 1 FROM a FULL OUTER JOIN b ON a.x = b.x", "FULL"),
+            ("SELECT 1 FROM a CROSS JOIN b", "CROSS"),
+        ],
+    )
+    def test_join_kinds(self, sql, kind):
+        core = select_core(sql)
+        join = core.from_items[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == kind
+
+    def test_join_chain_left_associative(self):
+        core = select_core("SELECT 1 FROM a JOIN b ON 1=1 JOIN c ON 2=2")
+        outer = core.from_items[0]
+        assert isinstance(outer.left, ast.Join)
+        assert outer.right.name == "c"
+
+    def test_join_requires_on(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 FROM a JOIN b")
+
+    def test_comma_join(self):
+        core = select_core("SELECT 1 FROM a, b")
+        assert len(core.from_items) == 2
+
+
+class TestSetOperations:
+    def test_union(self):
+        stmt = parse_statement("SELECT a FROM t UNION SELECT b FROM u")
+        assert isinstance(stmt.body, ast.SetOperation)
+        assert stmt.body.op == "UNION"
+        assert not stmt.body.all
+
+    def test_union_all(self):
+        stmt = parse_statement("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert stmt.body.all
+
+    @pytest.mark.parametrize("op", ["INTERSECT", "EXCEPT"])
+    def test_other_set_ops(self, op):
+        stmt = parse_statement(f"SELECT a FROM t {op} SELECT b FROM u")
+        assert stmt.body.op == op
+
+    def test_parenthesised_operands(self):
+        stmt = parse_statement("(SELECT a FROM t) UNION (SELECT b FROM u)")
+        assert isinstance(stmt.body, ast.SetOperation)
+
+    def test_cores_helper(self):
+        stmt = parse_statement("SELECT 1 UNION SELECT 2 UNION SELECT 3")
+        assert len(stmt.cores()) == 3
+
+
+class TestExpressions:
+    def test_precedence_multiplication_before_addition(self):
+        core = select_core("SELECT 1 + 2 * 3")
+        expr = core.items[0].expression
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_and_or(self):
+        core = select_core("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert core.where.op == "OR"
+        assert core.where.right.op == "AND"
+
+    def test_not(self):
+        core = select_core("SELECT 1 FROM t WHERE NOT a = 1")
+        assert isinstance(core.where, ast.UnaryOp)
+        assert core.where.op == "NOT"
+
+    def test_comparison_normalisation(self):
+        core = select_core("SELECT 1 FROM t WHERE a != 1")
+        assert core.where.op == "<>"
+
+    def test_literals(self):
+        core = select_core("SELECT 1, 1.5, 'x', NULL, TRUE, FALSE")
+        values = [item.expression.value for item in core.items]
+        assert values == [1, Decimal("1.5"), "x", None, True, False]
+
+    def test_scientific_literal_is_float(self):
+        core = select_core("SELECT 1e3")
+        assert isinstance(core.items[0].expression.value, float)
+
+    def test_unary_minus(self):
+        core = select_core("SELECT -5")
+        expr = core.items[0].expression
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "-"
+
+    def test_between(self):
+        core = select_core("SELECT 1 FROM t WHERE a BETWEEN 1 AND 10")
+        assert isinstance(core.where, ast.BetweenPredicate)
+
+    def test_not_between(self):
+        core = select_core("SELECT 1 FROM t WHERE a NOT BETWEEN 1 AND 10")
+        assert core.where.negated
+
+    def test_like_with_escape(self):
+        core = select_core("SELECT 1 FROM t WHERE a LIKE 'x%' ESCAPE '!'")
+        assert isinstance(core.where, ast.LikePredicate)
+        assert core.where.escape is not None
+
+    def test_in_list(self):
+        core = select_core("SELECT 1 FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(core.where, ast.InPredicate)
+        assert len(core.where.values) == 3
+
+    def test_in_subquery(self):
+        core = select_core("SELECT 1 FROM t WHERE a IN (SELECT b FROM u)")
+        assert core.where.subquery is not None
+
+    def test_not_in_union_subquery(self):
+        core = select_core(
+            "SELECT 1 FROM t WHERE a NOT IN ((SELECT b FROM u) UNION (SELECT c FROM v))"
+        )
+        assert core.where.negated
+        assert isinstance(core.where.subquery.body, ast.SetOperation)
+
+    def test_exists(self):
+        core = select_core("SELECT 1 FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        assert isinstance(core.where, ast.ExistsPredicate)
+
+    def test_is_null_and_is_not_null(self):
+        core = select_core("SELECT 1 FROM t WHERE a IS NULL AND b IS NOT NULL")
+        assert isinstance(core.where.left, ast.IsNullPredicate)
+        assert core.where.right.negated
+
+    def test_scalar_subquery(self):
+        core = select_core("SELECT (SELECT MAX(a) FROM t)")
+        assert isinstance(core.items[0].expression, ast.ScalarSubquery)
+
+    def test_case_searched(self):
+        core = select_core("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t")
+        expr = core.items[0].expression
+        assert isinstance(expr, ast.CaseExpr)
+        assert expr.operand is None
+
+    def test_case_simple(self):
+        core = select_core("SELECT CASE a WHEN 1 THEN 'one' END FROM t")
+        assert core.items[0].expression.operand is not None
+
+    def test_case_without_when_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT CASE ELSE 1 END")
+
+    def test_cast(self):
+        core = select_core("SELECT CAST(a AS VARCHAR(10)) FROM t")
+        expr = core.items[0].expression
+        assert isinstance(expr, ast.CastExpr)
+        assert expr.type_name == "VARCHAR"
+        assert expr.type_args == (10, None)
+
+    def test_function_call(self):
+        core = select_core("SELECT UPPER(name) FROM t")
+        assert core.items[0].expression.name == "UPPER"
+
+    def test_count_star(self):
+        core = select_core("SELECT COUNT(*) FROM t")
+        assert core.items[0].expression.star
+
+    def test_count_distinct(self):
+        core = select_core("SELECT COUNT(DISTINCT a) FROM t")
+        assert core.items[0].expression.distinct
+
+    def test_concat_operator(self):
+        core = select_core("SELECT a || b FROM t")
+        assert core.items[0].expression.op == "||"
+
+    def test_qualified_column(self):
+        core = select_core("SELECT t.a FROM t")
+        ref = core.items[0].expression
+        assert ref.table == "t" and ref.name == "a"
+
+
+class TestDDL:
+    def test_create_table_columns(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INTEGER PRIMARY KEY, b VARCHAR(10) NOT NULL, "
+            "c NUMERIC(8,2) DEFAULT 0, d INTEGER CHECK (d > 0), e INTEGER UNIQUE)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        a, b, c, d, e = stmt.columns
+        assert a.primary_key and a.not_null
+        assert b.not_null
+        assert isinstance(c.default, ast.Literal)
+        assert d.check is not None
+        assert e.unique
+
+    def test_create_table_constraints(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a, b), "
+            "UNIQUE (b), CHECK (a < b))"
+        )
+        kinds = [c.kind for c in stmt.constraints]
+        assert kinds == ["PRIMARY KEY", "UNIQUE", "CHECK"]
+
+    def test_create_table_multiword_type(self):
+        stmt = parse_statement("CREATE TABLE t (x DOUBLE PRECISION)")
+        assert stmt.columns[0].type_name == "DOUBLE PRECISION"
+
+    def test_create_view(self):
+        stmt = parse_statement("CREATE VIEW v (x) AS SELECT a FROM t")
+        assert isinstance(stmt, ast.CreateView)
+        assert stmt.column_names == ["x"]
+
+    def test_create_index_variants(self):
+        plain = parse_statement("CREATE INDEX ix ON t (a)")
+        unique = parse_statement("CREATE UNIQUE INDEX ix ON t (a, b)")
+        clustered = parse_statement("CREATE CLUSTERED INDEX ix ON t (a)")
+        assert not plain.unique and not plain.clustered
+        assert unique.unique and unique.columns == ["a", "b"]
+        assert clustered.clustered
+
+    def test_drop_statements(self):
+        assert isinstance(parse_statement("DROP TABLE t"), ast.DropTable)
+        assert isinstance(parse_statement("DROP VIEW v"), ast.DropView)
+        assert isinstance(parse_statement("DROP INDEX ix"), ast.DropIndex)
+
+    def test_alter_add_column(self):
+        stmt = parse_statement("ALTER TABLE t ADD COLUMN x INTEGER DEFAULT 1")
+        assert isinstance(stmt, ast.AlterTableAddColumn)
+        assert stmt.column.name == "x"
+
+    def test_references_clause(self):
+        stmt = parse_statement("CREATE TABLE t (a INTEGER REFERENCES u (id))")
+        assert stmt.columns[0].references == ("u", "id")
+
+
+class TestDML:
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_without_columns(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1)")
+        assert stmt.columns is None
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t (a) SELECT b FROM u")
+        assert stmt.query is not None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c = 2")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_delete_without_where(self):
+        assert parse_statement("DELETE FROM t").where is None
+
+
+class TestTransactions:
+    def test_begin_commit_rollback(self):
+        assert isinstance(parse_statement("BEGIN"), ast.BeginTransaction)
+        assert isinstance(parse_statement("BEGIN WORK"), ast.BeginTransaction)
+        assert isinstance(parse_statement("COMMIT"), ast.Commit)
+        assert isinstance(parse_statement("ROLLBACK"), ast.Rollback)
+
+    def test_savepoints(self):
+        assert parse_statement("SAVEPOINT sp1").name == "sp1"
+        stmt = parse_statement("ROLLBACK TO SAVEPOINT sp1")
+        assert stmt.savepoint == "sp1"
+
+
+class TestScripts:
+    def test_parse_script_multiple(self):
+        statements = parse_script("SELECT 1; SELECT 2; SELECT 3;")
+        assert len(statements) == 3
+
+    def test_empty_statements_skipped(self):
+        assert len(parse_script(";;SELECT 1;;")) == 1
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 SELECT 2")
+
+    def test_helpful_error_on_nonsense(self):
+        with pytest.raises(ParseError):
+            parse_statement("FROB the data")

@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from decimal import Decimal
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dialects.translator import render_tokens
+from repro.middleware.normalizer import normalize_value
+from repro.sqlengine import Engine
+from repro.sqlengine.lexer import tokenize
+from repro.sqlengine.tokens import TokenKind
+from repro.sqlengine.values import (
+    distinct_key,
+    like_match,
+    row_key,
+    sql_add,
+    sql_compare,
+    sql_mul,
+    tri_and,
+    tri_not,
+    tri_or,
+)
+
+tribool = st.sampled_from([True, False, None])
+
+sql_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.decimals(allow_nan=False, allow_infinity=False, places=4,
+                min_value=-10**6, max_value=10**6),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7F),
+        max_size=12,
+    ),
+)
+
+numbers = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.decimals(allow_nan=False, allow_infinity=False, places=4,
+                min_value=-10**4, max_value=10**4),
+)
+
+
+class TestTriboolAlgebra:
+    @given(a=tribool, b=tribool)
+    def test_commutativity(self, a, b):
+        assert tri_and(a, b) == tri_and(b, a)
+        assert tri_or(a, b) == tri_or(b, a)
+
+    @given(a=tribool, b=tribool, c=tribool)
+    def test_associativity(self, a, b, c):
+        assert tri_and(tri_and(a, b), c) == tri_and(a, tri_and(b, c))
+        assert tri_or(tri_or(a, b), c) == tri_or(a, tri_or(b, c))
+
+    @given(a=tribool, b=tribool)
+    def test_de_morgan(self, a, b):
+        assert tri_not(tri_and(a, b)) == tri_or(tri_not(a), tri_not(b))
+
+    @given(a=tribool)
+    def test_double_negation(self, a):
+        assert tri_not(tri_not(a)) == a
+
+
+class TestComparisonProperties:
+    @given(a=numbers, b=numbers)
+    def test_antisymmetry(self, a, b):
+        left = sql_compare(a, b)
+        right = sql_compare(b, a)
+        assert left == -right
+
+    @given(a=numbers, b=numbers, c=numbers)
+    def test_transitivity(self, a, b, c):
+        if sql_compare(a, b) <= 0 and sql_compare(b, c) <= 0:
+            assert sql_compare(a, c) <= 0
+
+    @given(a=numbers)
+    def test_reflexivity(self, a):
+        assert sql_compare(a, a) == 0
+
+    @given(a=sql_scalars)
+    def test_null_comparisons_unknown(self, a):
+        assert sql_compare(None, a) is None
+        assert sql_compare(a, None) is None
+
+    @given(a=numbers, b=numbers)
+    def test_distinct_key_consistent_with_compare(self, a, b):
+        if sql_compare(a, b) == 0:
+            assert distinct_key(a) == distinct_key(b)
+        else:
+            assert distinct_key(a) != distinct_key(b)
+
+    @given(a=numbers, b=numbers)
+    def test_arithmetic_commutativity(self, a, b):
+        assert sql_compare(sql_add(a, b), sql_add(b, a)) == 0
+        assert sql_compare(sql_mul(a, b), sql_mul(b, a)) == 0
+
+
+class TestNormalizerProperties:
+    @given(a=sql_scalars)
+    def test_idempotence_of_equality(self, a):
+        assert normalize_value(a) == normalize_value(a)
+
+    @given(a=st.integers(min_value=-10**9, max_value=10**9))
+    def test_int_decimal_representations_collide(self, a):
+        assert normalize_value(a) == normalize_value(Decimal(a))
+        assert normalize_value(a) == normalize_value(Decimal(a) * Decimal("1.00"))
+
+    @given(text=st.text(max_size=10), pad=st.integers(min_value=0, max_value=5))
+    def test_trailing_padding_insignificant(self, text, pad):
+        assert normalize_value(text) == normalize_value(text + " " * pad)
+
+    @given(a=numbers, b=numbers)
+    def test_distinct_numbers_stay_distinct(self, a, b):
+        if sql_compare(a, b) != 0:
+            assert normalize_value(a) != normalize_value(b)
+
+
+class TestLexerProperties:
+    @given(text=st.text(
+        alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"),
+                               whitelist_characters=" '_", max_codepoint=0x7F),
+        max_size=30,
+    ))
+    def test_string_literal_roundtrip(self, text):
+        escaped = text.replace("'", "''")
+        token = tokenize(f"'{escaped}'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == text
+
+    @given(n=st.integers(min_value=0, max_value=10**12))
+    def test_integer_roundtrip(self, n):
+        token = tokenize(str(n))[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.value == str(n)
+
+    @given(sql=st.sampled_from([
+        "SELECT a, b FROM t WHERE a >= 1 AND b <> 'x'",
+        "INSERT INTO t (a) VALUES (1.5), (2e3)",
+        "CREATE TABLE t (a INTEGER DEFAULT 'x''y')",
+        "UPDATE t SET a = a || '-' WHERE a LIKE '%z%'",
+    ]))
+    def test_render_tokenize_fixpoint(self, sql):
+        """render(tokenize(x)) is a fixpoint under re-tokenisation."""
+        rendered = render_tokens(tokenize(sql))
+        again = render_tokens(tokenize(rendered))
+        assert rendered == again
+
+
+class TestLikeProperties:
+    @given(text=st.text(alphabet="abc%_", max_size=8))
+    def test_percent_matches_everything(self, text):
+        assert like_match(text, "%") is True
+
+    @given(text=st.text(alphabet="abcxyz", min_size=1, max_size=8))
+    def test_exact_pattern_matches_itself(self, text):
+        assert like_match(text, text) is True
+
+    @given(text=st.text(alphabet="abcxyz", min_size=1, max_size=8))
+    def test_underscores_match_by_length(self, text):
+        assert like_match(text, "_" * len(text)) is True
+        assert like_match(text, "_" * (len(text) + 1)) is False
+
+
+class TestEngineProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(st.integers(min_value=-100, max_value=100),
+                           min_size=1, max_size=12))
+    def test_order_by_sorts(self, values):
+        engine = Engine("prop")
+        engine.execute("CREATE TABLE t (a INTEGER)")
+        for value in values:
+            engine.execute(f"INSERT INTO t VALUES ({value})")
+        result = engine.execute("SELECT a FROM t ORDER BY a")
+        assert [r[0] for r in result.rows] == sorted(values)
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(st.integers(min_value=-20, max_value=20),
+                           min_size=1, max_size=12))
+    def test_distinct_matches_set_semantics(self, values):
+        engine = Engine("prop")
+        engine.execute("CREATE TABLE t (a INTEGER)")
+        for value in values:
+            engine.execute(f"INSERT INTO t VALUES ({value})")
+        result = engine.execute("SELECT DISTINCT a FROM t")
+        assert sorted(r[0] for r in result.rows) == sorted(set(values))
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(st.integers(min_value=-1000, max_value=1000),
+                           min_size=1, max_size=12))
+    def test_aggregates_match_python(self, values):
+        engine = Engine("prop")
+        engine.execute("CREATE TABLE t (a INTEGER)")
+        for value in values:
+            engine.execute(f"INSERT INTO t VALUES ({value})")
+        result = engine.execute("SELECT COUNT(*), SUM(a), MIN(a), MAX(a) FROM t")
+        count, total, low, high = result.rows[0]
+        assert (count, total, low, high) == (
+            len(values), sum(values), min(values), max(values),
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(values=st.lists(st.integers(min_value=0, max_value=50),
+                           min_size=1, max_size=10))
+    def test_rollback_is_identity(self, values):
+        engine = Engine("prop")
+        engine.execute("CREATE TABLE t (a INTEGER)")
+        engine.execute("INSERT INTO t VALUES (999)")
+        before = engine.execute("SELECT a FROM t ORDER BY a").rows
+        engine.execute("BEGIN")
+        for value in values:
+            engine.execute(f"INSERT INTO t VALUES ({value})")
+        engine.execute("UPDATE t SET a = a + 1")
+        engine.execute("DELETE FROM t WHERE a > 500")
+        engine.execute("ROLLBACK")
+        after = engine.execute("SELECT a FROM t ORDER BY a").rows
+        assert before == after
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_union_is_idempotent(self, seed):
+        engine = Engine("prop")
+        engine.execute("CREATE TABLE t (a INTEGER)")
+        engine.execute(f"INSERT INTO t VALUES ({seed % 7}), ({seed % 11}), ({seed % 13})")
+        single = engine.execute("SELECT a FROM t UNION SELECT a FROM t ORDER BY a").rows
+        distinct = engine.execute("SELECT DISTINCT a FROM t ORDER BY a").rows
+        assert single == distinct

@@ -1,0 +1,110 @@
+"""Property-based equivalence tests for the query rephraser: for
+randomly generated predicates over a fixed table (including NULLs), the
+rephrased query must return exactly the same rows."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.middleware.rephrase import QueryRephraser
+from repro.sqlengine import Engine
+
+COLUMNS = ("a", "b")
+
+
+def make_engine():
+    engine = Engine("prop")
+    engine.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER)")
+    values = [0, 1, 2, 3, None]
+    for index, (a, b) in enumerate(itertools.product(values, values)):
+        a_sql = "NULL" if a is None else str(a)
+        b_sql = "NULL" if b is None else str(b)
+        engine.execute(f"INSERT INTO t (id, a, b) VALUES ({index}, {a_sql}, {b_sql})")
+    return engine
+
+
+ENGINE = make_engine()
+
+# -- predicate grammar --------------------------------------------------------
+
+comparisons = st.builds(
+    lambda column, op, value: f"{column} {op} {value}",
+    st.sampled_from(COLUMNS),
+    st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+    st.integers(min_value=-1, max_value=4),
+)
+
+in_lists = st.builds(
+    lambda column, values, negated: (
+        f"{column} {'NOT ' if negated else ''}IN ({', '.join(map(str, values))})"
+    ),
+    st.sampled_from(COLUMNS),
+    st.lists(st.integers(min_value=-1, max_value=4), min_size=1, max_size=4),
+    st.booleans(),
+)
+
+betweens = st.builds(
+    lambda column, low, high, negated: (
+        f"{column} {'NOT ' if negated else ''}BETWEEN {low} AND {high}"
+    ),
+    st.sampled_from(COLUMNS),
+    st.integers(min_value=-1, max_value=2),
+    st.integers(min_value=1, max_value=4),
+    st.booleans(),
+)
+
+null_checks = st.builds(
+    lambda column, negated: f"{column} IS {'NOT ' if negated else ''}NULL",
+    st.sampled_from(COLUMNS),
+    st.booleans(),
+)
+
+atoms = st.one_of(comparisons, in_lists, betweens, null_checks)
+
+
+def combine(left, op, right):
+    return f"({left}) {op} ({right})"
+
+
+predicates = st.recursive(
+    atoms,
+    lambda inner: st.one_of(
+        st.builds(combine, inner, st.sampled_from(["AND", "OR"]), inner),
+        st.builds(lambda p: f"NOT ({p})", inner),
+    ),
+    max_leaves=6,
+)
+
+
+class TestRephraseEquivalenceProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(predicate=predicates)
+    def test_rephrased_predicate_selects_same_rows(self, predicate):
+        sql = f"SELECT id FROM t WHERE {predicate} ORDER BY id"
+        rephrased = QueryRephraser().rephrase_sql(sql)
+        assert ENGINE.execute(sql).rows == ENGINE.execute(rephrased).rows, rephrased
+
+    @settings(max_examples=60, deadline=None)
+    @given(predicate=predicates)
+    def test_double_rephrasing_still_equivalent(self, predicate):
+        sql = f"SELECT id FROM t WHERE {predicate} ORDER BY id"
+        once = QueryRephraser().rephrase_sql(sql)
+        twice = QueryRephraser().rephrase_sql(once)
+        assert ENGINE.execute(sql).rows == ENGINE.execute(twice).rows
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        threshold=st.integers(min_value=-1, max_value=4),
+        negated=st.booleans(),
+    )
+    def test_union_subquery_distribution(self, threshold, negated):
+        keyword = "NOT IN" if negated else "IN"
+        sql = (
+            f"SELECT id FROM t WHERE a {keyword} "
+            f"((SELECT a FROM t WHERE b > {threshold}) UNION "
+            f"(SELECT b FROM t WHERE a <= {threshold})) ORDER BY id"
+        )
+        rephrased = QueryRephraser().rephrase_sql(sql)
+        assert ENGINE.execute(sql).rows == ENGINE.execute(rephrased).rows, rephrased

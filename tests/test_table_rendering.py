@@ -1,0 +1,49 @@
+"""Text renderings of the reproduced tables (the benchmark/CLI output)."""
+
+import pytest
+
+from repro.study import build_table1, build_table2, build_table3, build_table4
+from repro.study.tables import (
+    Table2Row,
+    Table3Row,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+
+class TestRenderings:
+    def test_table1_layout(self, study):
+        text = render_table1(build_table1(study))
+        assert "Bugs reported for IB" in text
+        assert "Bugs reported for MS" in text
+        assert "Engine crash" in text
+        # The home column leads each group: IB's 47 failures visible.
+        assert "47" in text
+
+    def test_table2_includes_all_groups(self, study):
+        text = render_table2(build_table2(study))
+        for group in ("IPOM", "IP", "PM", "O"):
+            assert f"\n{group} " in text or text.startswith(f"{group} ")
+
+    def test_table3_shows_detect_percentages(self, study):
+        text = render_table3(build_table3(study))
+        assert "IB+PG" in text and "OR+MS" in text
+        assert "%" in text
+        assert "100.0%" in text  # pairs with zero ND bugs
+
+    def test_table4_matrix_shape(self, study):
+        text = render_table4(build_table4(study))
+        lines = text.splitlines()
+        assert len(lines) == 5  # header + 4 server rows
+        assert "-" in lines[1]  # the diagonal
+
+    def test_row_dataclasses_defaults(self):
+        row2 = Table2Row()
+        assert row2.total == 0 and row2.more_than_two == 0
+        row3 = Table3Row()
+        assert row3.detectable_fraction == 1.0  # vacuously fully detectable
+        row3.fail_any = 10
+        row3.both_nondetectable = 1
+        assert row3.detectable_fraction == pytest.approx(0.9)

@@ -1,0 +1,185 @@
+"""SQL value semantics: three-valued logic, comparison, arithmetic, LIKE."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import DivisionByZero, TypeMismatch
+from repro.sqlengine.values import (
+    distinct_key,
+    like_match,
+    row_key,
+    sql_add,
+    sql_compare,
+    sql_concat,
+    sql_div,
+    sql_equal,
+    sql_mul,
+    sql_neg,
+    sql_sub,
+    tri_and,
+    tri_not,
+    tri_or,
+)
+
+
+class TestTribool:
+    def test_and_truth_table(self):
+        assert tri_and(True, True) is True
+        assert tri_and(True, False) is False
+        assert tri_and(False, None) is False  # False dominates UNKNOWN
+        assert tri_and(True, None) is None
+        assert tri_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert tri_or(False, False) is False
+        assert tri_or(True, None) is True  # True dominates UNKNOWN
+        assert tri_or(False, None) is None
+        assert tri_or(None, None) is None
+
+    def test_not(self):
+        assert tri_not(True) is False
+        assert tri_not(False) is True
+        assert tri_not(None) is None
+
+    def test_de_morgan_holds(self):
+        values = [True, False, None]
+        for a in values:
+            for b in values:
+                assert tri_not(tri_and(a, b)) == tri_or(tri_not(a), tri_not(b))
+
+
+class TestComparison:
+    def test_null_comparison_is_unknown(self):
+        assert sql_compare(None, 1) is None
+        assert sql_compare(None, None) is None
+        assert sql_equal(None, None) is None
+
+    def test_cross_numeric_types(self):
+        assert sql_compare(1, Decimal("1.0")) == 0
+        assert sql_compare(1.5, Decimal("1.25")) == 1
+        assert sql_compare(2, 2.5) == -1
+
+    def test_string_number_coercion(self):
+        # The permissive coercion bug scripts rely on: PRICE >= '9.00'.
+        assert sql_compare(Decimal("10.00"), "9.00") == 1
+        assert sql_compare("9.00", Decimal("9.00")) == 0
+
+    def test_string_number_garbage_raises(self):
+        with pytest.raises(TypeMismatch):
+            sql_compare("abc", 1)
+
+    def test_char_padding_insignificant(self):
+        assert sql_compare("ab   ", "ab") == 0
+
+    def test_string_ordering(self):
+        assert sql_compare("apple", "banana") == -1
+
+    def test_date_vs_string(self):
+        assert sql_compare(datetime.date(2000, 9, 6), "2000-9-6") == 0
+        assert sql_compare(datetime.date(2000, 9, 7), "2000-9-6") == 1
+
+    def test_boolean_vs_number(self):
+        assert sql_compare(True, 1) == 0
+        assert sql_compare(False, 1) == -1
+
+
+class TestDistinctKeys:
+    def test_equal_values_collide(self):
+        assert distinct_key(1) == distinct_key(Decimal("1"))
+        assert distinct_key("x ") == distinct_key("x")
+
+    def test_nulls_group_together(self):
+        assert distinct_key(None) == distinct_key(None)
+
+    def test_row_key(self):
+        assert row_key((1, "a")) == row_key((Decimal(1), "a "))
+        assert row_key((1, "a")) != row_key((1, "b"))
+
+
+class TestArithmetic:
+    def test_null_propagation(self):
+        assert sql_add(None, 1) is None
+        assert sql_mul(2, None) is None
+        assert sql_neg(None) is None
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert sql_div(7, 2) == 3
+        assert sql_div(-7, 2) == -3
+
+    def test_mixed_division_is_exact(self):
+        assert sql_div(Decimal("7.0"), 2) == Decimal("3.5")
+
+    def test_division_by_zero(self):
+        with pytest.raises(DivisionByZero):
+            sql_div(1, 0)
+
+    def test_decimal_plus_int(self):
+        assert sql_add(Decimal("1.5"), 1) == Decimal("2.5")
+
+    def test_float_contaminates_decimal(self):
+        result = sql_mul(Decimal("1.5"), 2.0)
+        assert isinstance(result, float)
+
+    def test_string_operand_coerced(self):
+        assert sql_add("2", 3) == Decimal(5)
+
+    def test_non_numeric_operand_raises(self):
+        with pytest.raises(TypeMismatch):
+            sql_sub("abc", 1)
+
+    def test_negation(self):
+        assert sql_neg(5) == -5
+        assert sql_neg(Decimal("2.5")) == Decimal("-2.5")
+
+
+class TestConcat:
+    def test_basic(self):
+        assert sql_concat("a", "b") == "ab"
+
+    def test_null_propagates(self):
+        assert sql_concat("a", None) is None
+
+    def test_numbers_rendered(self):
+        assert sql_concat("v", 5) == "v5"
+        assert sql_concat(Decimal("1.50"), "x") == "1.50x"
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("hello", "hello", True),
+            ("hello", "h%", True),
+            ("hello", "%llo", True),
+            ("hello", "h_llo", True),
+            ("hello", "H%", False),  # case-sensitive
+            ("hello", "%z%", False),
+            ("", "%", True),
+            ("abc", "___", True),
+            ("abc", "____", False),
+            ("50%", "50!%", None),  # needs escape parameter, see below
+        ],
+    )
+    def test_patterns(self, value, pattern, expected):
+        if expected is None:
+            assert like_match(value, pattern, escape="!") is True
+        else:
+            assert like_match(value, pattern) is expected
+
+    def test_escape_literal_percent(self):
+        assert like_match("100%", "100!%", escape="!") is True
+        assert like_match("100x", "100!%", escape="!") is False
+
+    def test_null_operands(self):
+        assert like_match(None, "%") is None
+        assert like_match("x", None) is None
+
+    def test_non_string_raises(self):
+        with pytest.raises(TypeMismatch):
+            like_match(5, "%")
+
+    def test_regex_metacharacters_are_literal(self):
+        assert like_match("a.b", "a.b") is True
+        assert like_match("axb", "a.b") is False
