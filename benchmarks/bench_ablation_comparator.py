@@ -9,7 +9,6 @@ producing false alarms on perfectly healthy diverse replicas.
 
 from decimal import Decimal
 
-import pytest
 
 from repro.middleware import ResultComparator
 from repro.middleware.comparator import ReplicaAnswer

@@ -11,7 +11,6 @@ stays consistent — versus the 1-version baseline where every crash is a
 full outage.
 """
 
-import pytest
 
 from repro.errors import EngineCrash
 from repro.faults import CrashEffect, FaultSpec, SqlPatternTrigger

@@ -8,7 +8,6 @@ undetected rate of a pair is set by its non-detectable coincident bugs
 (IB+PG: 223512; pairs with none go to zero).
 """
 
-import pytest
 
 from repro.reliability import FailureProcessSimulator
 from repro.reliability.simulate import bug_profiles_from_study

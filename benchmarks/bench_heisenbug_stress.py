@@ -9,7 +9,6 @@ mode a fraction of them do (each Heisenbug activates probabilistically
 per triggered statement).
 """
 
-import pytest
 
 from repro.study import run_study
 

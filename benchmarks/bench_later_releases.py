@@ -11,7 +11,6 @@ paper's general conclusions persist:
   pair keeps >= 94% detectability.
 """
 
-import pytest
 
 from repro.servers.releases import release_fault_catalogs
 from repro.study import build_table2, build_table3, build_table4, run_study

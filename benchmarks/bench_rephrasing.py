@@ -13,7 +13,6 @@ data touched, crashes before comparison, wrong DDL semantics — needs
 genuinely diverse redundancy, supporting the paper's emphasis.
 """
 
-import pytest
 
 from repro.errors import AdjudicationFailure, EngineCrash, SqlError
 from repro.middleware.rephrase import RephrasingWrapper

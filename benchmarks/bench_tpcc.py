@@ -14,7 +14,6 @@ optimisation of [9] claws a large part of that back on read-heavy
 loads.
 """
 
-import pytest
 
 from repro.middleware import DiverseServer
 from repro.servers import make_server

@@ -9,7 +9,6 @@ is the paper's most load-bearing number, and why replica-set selection
 should avoid pairs with known identical failures.
 """
 
-import pytest
 
 from repro.errors import SqlError
 from repro.middleware import DiverseServer, ReplicaState

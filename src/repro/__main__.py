@@ -11,6 +11,11 @@ Commands
 ``tpcc [N]``
     Run N TPC-C-style transactions (default 100) through a 1-version
     and a 2-version configuration and print throughput/dependability.
+``crashstorm [N]``
+    Run N TPC-C-style transactions (default 120) through a 3-version
+    majority configuration whose IB replica crashes repeatedly — both
+    in service and during recovery replay — and print the supervisor's
+    quarantine/backoff/checkpoint/retirement telemetry.
 ``report [PATH]``
     Write a full markdown study report (default: study_report.md).
 ``export [PATH]``
@@ -116,6 +121,52 @@ def cmd_tpcc(count: int) -> int:
     return 0
 
 
+def cmd_crashstorm(count: int) -> int:
+    from repro.faults import CrashEffect, FaultSpec, RecoveryTrigger, SqlPatternTrigger
+    from repro.middleware import DiverseServer
+    from repro.servers import make_server
+    from repro.workload import WorkloadRunner
+
+    storm = FaultSpec(
+        "STORM-CRASH",
+        "crashes on stock-level analysis queries",
+        SqlPatternTrigger(r"COUNT\s*\(\s*DISTINCT\s+s_i_id"),
+        CrashEffect("scheduler deadlock"),
+    )
+    relapse = FaultSpec(
+        "STORM-RELAPSE",
+        "crashes again while replaying district updates during recovery",
+        RecoveryTrigger() & SqlPatternTrigger(r"UPDATE\s+district"),
+        CrashEffect("recovery deadlock"),
+    )
+    server = DiverseServer(
+        [make_server("IB", [storm, relapse]), make_server("OR"), make_server("MS")],
+        adjudication="majority",
+    )
+    runner = WorkloadRunner(server, seed=7)
+    runner.setup()
+    metrics = runner.run(count)
+    stats = server.stats
+    ib = server.replica("IB")
+    print(f"3v majority under crash storm: {metrics.transactions} transactions, "
+          f"{metrics.statements_per_second:.0f} stmt/s")
+    print(f"client-visible crashes={metrics.crashes} outages={metrics.outages}")
+    print(f"replica crashes absorbed={stats.replica_crashes} "
+          f"statement retries={stats.statement_retries} "
+          f"(saved={stats.retries_saved})")
+    print(f"quarantines={stats.quarantines} backoff waits={stats.backoff_waits} "
+          f"recoveries={stats.recoveries} retirements={stats.retirements}")
+    print(f"checkpoints={stats.checkpoints} "
+          f"checkpoint replays={stats.checkpoint_replays} "
+          f"full replays={stats.full_replays} "
+          f"statements replayed={stats.replayed_statements}")
+    print(f"degraded statements={stats.degraded_statements} "
+          f"quorum losses={stats.quorum_losses}")
+    print(f"IB final state: {ib.state.value} "
+          f"(quarantined {ib.health.quarantines} time(s))")
+    return 0
+
+
 def cmd_report(path: str) -> int:
     from repro.study.reporting import study_report_markdown
 
@@ -144,6 +195,9 @@ def main(argv: list[str]) -> int:
     if command == "tpcc":
         count = int(argv[1]) if len(argv) > 1 else 100
         return cmd_tpcc(count)
+    if command == "crashstorm":
+        count = int(argv[1]) if len(argv) > 1 else 120
+        return cmd_crashstorm(count)
     if command == "report":
         return cmd_report(argv[1] if len(argv) > 1 else "study_report.md")
     if command == "export":

@@ -20,7 +20,7 @@ from repro.faults.effects import (
     ValueSkewEffect,
 )
 from repro.faults.spec import Detectability, FailureKind, FaultSpec
-from repro.faults.triggers import RelationPrefixTrigger, RelationTrigger, TagTrigger
+from repro.faults.triggers import RelationTrigger, TagTrigger
 
 K = FailureKind
 D = Detectability

@@ -29,7 +29,13 @@ from repro.faults.effects import (
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import Detectability, FailureKind, FaultSpec
-from repro.faults.triggers import AlwaysTrigger, RelationTrigger, SqlPatternTrigger, TagTrigger
+from repro.faults.triggers import (
+    AlwaysTrigger,
+    RecoveryTrigger,
+    RelationTrigger,
+    SqlPatternTrigger,
+    TagTrigger,
+)
 
 __all__ = [
     "AlwaysTrigger",
@@ -41,6 +47,7 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "PerformanceEffect",
+    "RecoveryTrigger",
     "RelationTrigger",
     "RowDropEffect",
     "RowDuplicateEffect",

@@ -11,9 +11,7 @@ guard.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
-from repro.bugs.corpus import Corpus
 from repro.dialects.features import SERVER_KEYS
 from repro.study.runner import StudyResult
 

@@ -111,6 +111,24 @@ class SqlPatternTrigger(Trigger):
         return bool(self.regex.search(ctx.sql))
 
 
+class RecoveryTrigger(Trigger):
+    """Fires only while the engine is replaying the write log during
+    replica recovery (``engine.phase == "recover"``).
+
+    Models faults that bite the recovery path itself — a replica that
+    crashes again mid-replay — which is what the supervisor's backoff
+    and circuit breaker exist to contain.  Compose with other triggers
+    to scope the relapse to particular statements:
+    ``RecoveryTrigger() & SqlPatternTrigger(r"INSERT INTO orders")``.
+    """
+
+    def __init__(self, phase: str = "recover") -> None:
+        self.phase = phase
+
+    def matches(self, ctx) -> bool:
+        return getattr(ctx.engine, "phase", "serve") == self.phase
+
+
 class AllOf(Trigger):
     """Conjunction of triggers."""
 

@@ -8,14 +8,24 @@ statement.
 
 from repro.middleware.comparator import ComparisonResult, ResultComparator
 from repro.middleware.normalizer import normalize_result, normalize_signature, normalize_value
-from repro.middleware.server import DiverseServer, ReplicaState
+from repro.middleware.server import DiverseServer, replicated_server
+from repro.middleware.supervisor import (
+    ReplicaState,
+    ReplicaSupervisor,
+    SupervisorPolicy,
+    VirtualClock,
+)
 
 __all__ = [
     "ComparisonResult",
     "DiverseServer",
     "ReplicaState",
+    "ReplicaSupervisor",
     "ResultComparator",
+    "SupervisorPolicy",
+    "VirtualClock",
     "normalize_result",
     "normalize_signature",
     "normalize_value",
+    "replicated_server",
 ]

@@ -22,17 +22,26 @@ Adjudication policies
     No comparison: the first active replica answers (models a
     conventional non-diverse setup; used as a baseline in benchmarks).
 
+Replica lifecycle is handled by the supervision subsystem
+(:mod:`repro.middleware.supervisor`) when ``auto_recover`` is on: one
+statement retry before suspicion, quarantine with exponential-backoff
+recovery retries, a circuit breaker retiring crash-looping replicas,
+checkpointed log replay, and graceful adjudication degradation when the
+active set shrinks.  With ``auto_recover=False`` the middleware only
+marks replicas FAILED/SUSPECTED and leaves recovery to explicit
+:meth:`DiverseServer.recover` calls (the original fire-once behaviour).
+
 Recovery is log-based: the middleware keeps the history of committed
 write statements, and a suspected/crashed replica is rebuilt by
-replaying that history onto a fresh instance — the "recovery performed
-on the faulty server while others continue" scenario of Section 2.1.
+restoring its latest checkpoint (if any) and replaying the write-log
+tail onto it — the "recovery performed on the faulty server while
+others continue" scenario of Section 2.1.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from enum import Enum
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.dialects.translator import translate_script
 from repro.errors import (
@@ -42,7 +51,14 @@ from repro.errors import (
     NoReplicasAvailable,
     SqlError,
 )
-from repro.middleware.comparator import ComparisonResult, ReplicaAnswer, ResultComparator
+from repro.middleware.comparator import ReplicaAnswer, ResultComparator
+from repro.middleware.supervisor import (
+    ReplicaHealth,
+    ReplicaState,
+    ReplicaSupervisor,
+    SupervisorPolicy,
+    VirtualClock,
+)
 from repro.servers.product import ServerProduct
 from repro.sqlengine.analysis import extract_traits
 from repro.sqlengine.engine import Result
@@ -70,12 +86,6 @@ _WRITE_KINDS = frozenset(
 )
 
 
-class ReplicaState(Enum):
-    ACTIVE = "active"
-    SUSPECTED = "suspected"
-    FAILED = "failed"
-
-
 @dataclass
 class ReplicaStats:
     statements: int = 0
@@ -90,6 +100,7 @@ class Replica:
     product: ServerProduct
     state: ReplicaState = ReplicaState.ACTIVE
     stats: ReplicaStats = field(default_factory=ReplicaStats)
+    health: ReplicaHealth = field(default_factory=ReplicaHealth)
 
     @property
     def key(self) -> str:
@@ -110,6 +121,31 @@ class MiddlewareStats:
     replica_crashes: int = 0
     recoveries: int = 0
     performance_anomalies: int = 0
+    # -- supervision counters -------------------------------------------
+    #: Quarantine incidents (replica evicted pending recovery).
+    quarantines: int = 0
+    #: Recovery retries scheduled with a non-zero backoff delay.
+    backoff_waits: int = 0
+    #: Replicas permanently retired by the circuit breaker.
+    retirements: int = 0
+    #: Checkpoint events (every active replica snapshotted).
+    checkpoints: int = 0
+    #: Recoveries served from a checkpoint + log tail.
+    checkpoint_replays: int = 0
+    #: Recoveries that had to replay the full write log.
+    full_replays: int = 0
+    #: Statements replayed across all recoveries.
+    replayed_statements: int = 0
+    #: Single-shot statement retries issued before suspecting a replica.
+    statement_retries: int = 0
+    #: Retries whose answer matched (the replica was spared eviction).
+    retries_saved: int = 0
+    #: Statements served under a weaker adjudication policy than
+    #: configured (graceful degradation).
+    degraded_statements: int = 0
+    #: Degraded statements served with no cross-checking at all (one
+    #: active replica under a comparison policy): full quorum loss.
+    quorum_losses: int = 0
 
     @property
     def detection_events(self) -> int:
@@ -133,29 +169,52 @@ class DiverseServer:
         normalize: bool = True,
         read_split: bool = False,
         auto_recover: bool = True,
+        supervisor: Optional[ReplicaSupervisor] = None,
+        policy: Optional[SupervisorPolicy] = None,
+        clock: Optional[VirtualClock] = None,
+        allow_duplicates: bool = False,
     ) -> None:
         if len(replicas) < 2 and adjudication != "primary":
             raise MiddlewareError("a diverse server needs at least two replicas")
         if adjudication not in ("compare", "majority", "monitor", "primary"):
             raise MiddlewareError(f"unknown adjudication policy {adjudication!r}")
-        seen = set()
-        for product in replicas:
-            if product.key in seen:
-                raise MiddlewareError(
-                    f"duplicate product {product.key}: diversity requires "
-                    "distinct products (use replicated_server for identical copies)"
-                )
-            seen.add(product.key)
+        if not allow_duplicates:
+            seen = set()
+            for product in replicas:
+                if product.key in seen:
+                    raise MiddlewareError(
+                        f"duplicate product {product.key}: diversity requires "
+                        "distinct products (use replicated_server for identical copies)"
+                    )
+                seen.add(product.key)
         self.replicas = [Replica(product) for product in replicas]
         self.adjudication = adjudication
         self.comparator = ResultComparator(normalize=normalize)
         self.read_split = read_split
         self.auto_recover = auto_recover
         self.stats = MiddlewareStats()
+        self.supervisor = supervisor or ReplicaSupervisor(policy=policy, clock=clock)
+        self.supervisor.attach(self)
         self._write_log: list[str] = []
+        #: The write statement currently in flight (not yet committed to
+        #: the log); recoveries triggered mid-statement replay it too.
+        self._pending_write: Optional[str] = None
         self._read_cursor = 0
         #: (sql, group leaders) pairs recorded in ``monitor`` mode.
         self.disagreement_log: list[tuple[str, list[str]]] = []
+
+    @property
+    def supervised(self) -> bool:
+        """True when the supervision subsystem drives replica lifecycle."""
+        return self.auto_recover
+
+    @property
+    def policy(self) -> SupervisorPolicy:
+        return self.supervisor.policy
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self.supervisor.clock
 
     # -- replica management -----------------------------------------------
 
@@ -181,18 +240,29 @@ class DiverseServer:
         else:
             self.stats.reads += 1
 
+        if self.supervised:
+            self.supervisor.tick()
+
         active = self.active_replicas()
         if not active:
-            raise NoReplicasAvailable("no active replicas")
+            states = ", ".join(f"{r.key}={r.state.value}" for r in self.replicas)
+            raise NoReplicasAvailable(f"no active replicas ({states})")
 
-        if self.adjudication == "primary" or (
-            self.read_split and not is_write and self.adjudication != "compare"
-        ):
-            result = self._execute_single(sql, active, is_write)
-        else:
-            result = self._execute_compared(sql, active, is_write)
+        policy = self._effective_adjudication(len(active))
+        self._pending_write = sql if is_write else None
+        try:
+            if policy == "primary" or (
+                self.read_split and not is_write and policy != "compare"
+            ):
+                result = self._execute_single(sql, active, is_write, policy)
+            else:
+                result = self._execute_compared(sql, active, is_write, policy)
+        finally:
+            self._pending_write = None
         if is_write:
             self._write_log.append(sql)
+            if self.supervised:
+                self.supervisor.maybe_checkpoint()
         return result
 
     def execute_script(self, sql: str) -> list[Result]:
@@ -200,26 +270,40 @@ class DiverseServer:
 
         return [self.execute(statement) for statement in split_statements(sql)]
 
+    def _effective_adjudication(self, active_count: int) -> str:
+        """Degrade the adjudication policy when too few replicas remain."""
+        if not self.supervised:
+            return self.adjudication
+        effective = self.supervisor.effective_adjudication(
+            self.adjudication, active_count, len(self.replicas)
+        )
+        if effective != self.adjudication:
+            self.stats.degraded_statements += 1
+            if active_count < 2 and self.adjudication in ("majority", "compare"):
+                self.stats.quorum_losses += 1
+        return effective
+
     # -- single-replica path (primary / read-split) ---------------------------------
 
     def _execute_single(
-        self, sql: str, active: list[Replica], is_write: bool
+        self, sql: str, active: list[Replica], is_write: bool, policy: str
     ) -> Result:
-        if is_write and self.adjudication != "primary":
-            return self._execute_compared(sql, active, is_write)
-        if is_write or self.adjudication == "primary":
+        if is_write and policy != "primary":
+            return self._execute_compared(sql, active, is_write, policy)
+        if is_write or policy == "primary":
             order = active  # primary answers; no read rotation
         else:
             order = self._rotate(active)
-        last_error: Optional[Exception] = None
+        crashed: list[Replica] = []
         for replica in order:
-            answer = self._ask(replica, sql)
+            answer = self._ask_with_crash_retry(replica, sql)
             if answer.status == "crash":
+                crashed.append(replica)
                 self._handle_crash(replica)
                 continue
             if answer.status == "error":
                 raise SqlError(answer.error)
-            if is_write and self.adjudication == "primary":
+            if is_write and policy == "primary":
                 # Propagate the write to the other replicas unchecked.
                 for other in active:
                     if other is not replica:
@@ -227,9 +311,8 @@ class DiverseServer:
                         if other_answer.status == "crash":
                             self._handle_crash(other)
             return answer.result
-        if last_error is not None:  # pragma: no cover - defensive
-            raise last_error
-        raise NoReplicasAvailable("all replicas crashed")
+        keys = ", ".join(replica.key for replica in crashed)
+        raise NoReplicasAvailable(f"all replicas crashed on this statement ({keys})")
 
     def _rotate(self, active: list[Replica]) -> list[Replica]:
         self._read_cursor = (self._read_cursor + 1) % len(active)
@@ -238,12 +321,12 @@ class DiverseServer:
     # -- compared path ------------------------------------------------------------
 
     def _execute_compared(
-        self, sql: str, active: list[Replica], is_write: bool
+        self, sql: str, active: list[Replica], is_write: bool, policy: str
     ) -> Result:
         answers: list[ReplicaAnswer] = []
         crashed: list[Replica] = []
         for replica in active:
-            answer = self._ask(replica, sql)
+            answer = self._ask_with_crash_retry(replica, sql)
             if answer.status == "crash":
                 crashed.append(replica)
             else:
@@ -251,7 +334,8 @@ class DiverseServer:
         for replica in crashed:
             self._handle_crash(replica)
         if not answers:
-            raise NoReplicasAvailable("all replicas crashed on this statement")
+            keys = ", ".join(replica.key for replica in crashed)
+            raise NoReplicasAvailable(f"all replicas crashed on this statement ({keys})")
 
         self._check_performance(answers)
         comparison = self.comparator.compare(answers)
@@ -260,14 +344,14 @@ class DiverseServer:
             return self._answer_to_result(comparison.largest[0])
 
         self.stats.disagreements_detected += 1
-        if self.adjudication == "monitor":
+        if policy == "monitor":
             # Observation mode (Section 7: "the user could decide on an
             # ongoing basis which architecture is giving the best
             # trade-off"): log the disagreement, answer from the largest
             # agreeing group, never interrupt service.
             self.disagreement_log.append((sql, [g[0].replica for g in comparison.groups]))
             return self._answer_to_result(comparison.largest[0])
-        if self.adjudication == "compare":
+        if policy == "compare":
             self.stats.adjudication_failures += 1
             raise AdjudicationFailure(
                 f"replicas disagree on {sql!r}: "
@@ -283,8 +367,12 @@ class DiverseServer:
                 f"no majority among replicas for {sql!r}", disagreement=comparison
             )
         self.stats.failures_masked += 1
+        winner_key = winners[0].vote_key(normalize=self.comparator.normalize)
         for key in comparison.minority_replicas():
-            self._suspect(self.replica(key))
+            replica = self.replica(key)
+            if self._retry_matches(replica, sql, is_write, winner_key):
+                continue
+            self._suspect(replica)
         return self._answer_to_result(winners[0])
 
     #: A replica answering this many times slower than the fastest peer
@@ -319,6 +407,47 @@ class DiverseServer:
             result=result,
         )
 
+    def _ask_with_crash_retry(self, replica: Replica, sql: str) -> ReplicaAnswer:
+        """Ask once; on a crash, restart and retry once before giving up.
+
+        Crash effects fire before the engine touches the statement, so a
+        retry never double-applies a write.  A transient (Heisenbug)
+        crash passes on retry and the replica is spared quarantine.
+        """
+        answer = self._ask(replica, sql)
+        if answer.status != "crash" or not self._statement_retry_enabled():
+            return answer
+        replica.state = ReplicaState.SUSPECTED
+        self.stats.statement_retries += 1
+        replica.product.restart()
+        retry = self._ask(replica, sql)
+        if retry.status != "crash":
+            replica.state = ReplicaState.ACTIVE
+            self.stats.retries_saved += 1
+        return retry
+
+    def _retry_matches(
+        self, replica: Replica, sql: str, is_write: bool, winner_key: tuple
+    ) -> bool:
+        """Re-run an out-voted read once; True when the retry agrees with
+        the winning answer (a transient fault — keep the replica)."""
+        if is_write or not self._statement_retry_enabled():
+            return False
+        replica.state = ReplicaState.SUSPECTED
+        self.stats.statement_retries += 1
+        retry = self._ask(replica, sql)
+        if (
+            retry.status != "crash"
+            and retry.vote_key(normalize=self.comparator.normalize) == winner_key
+        ):
+            replica.state = ReplicaState.ACTIVE
+            self.stats.retries_saved += 1
+            return True
+        return False
+
+    def _statement_retry_enabled(self) -> bool:
+        return self.supervised and self.supervisor.policy.statement_retry
+
     @staticmethod
     def _answer_to_result(answer: ReplicaAnswer) -> Result:
         if answer.status == "error":
@@ -328,41 +457,41 @@ class DiverseServer:
         return answer.result
 
     def _handle_crash(self, replica: Replica) -> None:
-        replica.state = ReplicaState.FAILED
         self.stats.replica_crashes += 1
-        if self.auto_recover:
-            self.recover(replica.key)
+        if self.supervised:
+            self.supervisor.quarantine(replica)
+        else:
+            replica.state = ReplicaState.FAILED
 
     def _suspect(self, replica: Replica) -> None:
         replica.stats.outvoted += 1
         replica.state = ReplicaState.SUSPECTED
-        if self.auto_recover:
-            self.recover(replica.key)
+        if self.supervised:
+            self.supervisor.quarantine(replica)
 
     # -- recovery ---------------------------------------------------------------------
 
-    def recover(self, key: str) -> None:
-        """Rebuild a failed/suspected replica by log replay.
+    def recover(self, key: str, *, force: bool = False) -> None:
+        """Rebuild a failed/suspected replica by checkpoint + log replay.
 
-        The replica is reset to a fresh install and the committed write
-        history is replayed in order (translated to its dialect); it
-        then rejoins the active set.
+        The replica's latest checkpoint (if any) is restored and the
+        write-log tail replayed in order (translated to its dialect);
+        without a checkpoint the replica is reset to a fresh install and
+        the full history replayed.  On success it rejoins the active
+        set.  Retired replicas are only resurrected with ``force=True``
+        (an operator decision — the circuit breaker retired them for
+        crash-looping).
         """
         replica = self.replica(key)
-        replica.product.reset()
-        replica.product.restart()
-        for sql in self._write_log:
-            try:
-                translated = translate_script(sql, replica.product.descriptor)
-                replica.product.execute(translated)
-            except EngineCrash:
-                replica.state = ReplicaState.FAILED
-                return
-            except SqlError:
-                continue  # statements that legitimately error replay as errors
-        replica.state = ReplicaState.ACTIVE
-        replica.stats.recoveries += 1
-        self.stats.recoveries += 1
+        if replica.state is ReplicaState.RETIRED:
+            if not force:
+                raise MiddlewareError(
+                    f"replica {key} was retired by the circuit breaker; "
+                    "pass force=True to resurrect it"
+                )
+            replica.health.failure_times.clear()
+            replica.health.attempts = 0
+        self.supervisor.attempt_recovery(replica, manual=True)
 
     # -- state consistency -------------------------------------------------------------------
 
@@ -370,11 +499,14 @@ class DiverseServer:
         """Cross-check the full database state of all active replicas.
 
         Every base table of every active replica is dumped (ordered by
-        its normalised row content) and compared across replicas.
-        Returns a mapping ``table -> [replicas disagreeing with the
-        first active replica]`` — empty when all replicas hold the same
-        state.  Used after recovery and at audit points; the paper's
-        middleware sketch calls this the consistency-enforcing check.
+        its normalised row content) and compared across replicas.  The
+        table list is the *union* across active replicas, so a table
+        present on some replica but missing from the reference is still
+        flagged.  Returns a mapping ``table -> [replicas disagreeing
+        with the first active replica]`` — empty when all replicas hold
+        the same state.  Used after recovery and at audit points; the
+        paper's middleware sketch calls this the consistency-enforcing
+        check.
         """
         from repro.middleware.normalizer import normalize_row
 
@@ -383,7 +515,11 @@ class DiverseServer:
             return {}
         reference = active[0]
         table_names = sorted(
-            table.name.lower() for table in reference.product.engine.catalog.tables()
+            {
+                table.name.lower()
+                for replica in active
+                for table in replica.product.engine.catalog.tables()
+            }
         )
 
         def dump(replica: Replica, name: str):
@@ -420,15 +556,6 @@ def replicated_server(
     wrong answers win the vote — the comparison baseline in benchmarks.
     """
     replicas = [factory() for _ in range(count)]
-    server = DiverseServer.__new__(DiverseServer)
-    # Bypass the distinct-product check deliberately.
-    server.replicas = [Replica(product) for product in replicas]
-    server.adjudication = adjudication
-    server.comparator = ResultComparator(normalize=kwargs.get("normalize", True))
-    server.read_split = kwargs.get("read_split", False)
-    server.auto_recover = kwargs.get("auto_recover", True)
-    server.stats = MiddlewareStats()
-    server._write_log = []
-    server._read_cursor = 0
-    server.disagreement_log = []
-    return server
+    return DiverseServer(
+        replicas, adjudication=adjudication, allow_duplicates=True, **kwargs
+    )

@@ -1,0 +1,363 @@
+"""Replica supervision: the lifecycle layer of the diverse middleware.
+
+The paper's Section 2.1 availability argument — "servers that are
+diagnosed as correct can continue operation while recovery is performed
+on the faulty server[s]" — needs more than fire-once log replay to hold
+up under sustained load.  This module supplies the machinery real
+replication middleware has:
+
+* a per-replica health **state machine**
+  (ACTIVE → SUSPECTED → QUARANTINED → FAILED/RETIRED) driven by an
+  injectable deterministic :class:`VirtualClock`;
+* **bounded recovery retries with exponential backoff** instead of a
+  single synchronous replay attempt;
+* a **circuit breaker** that permanently retires a replica caught in a
+  crash loop (repeated failed recoveries inside a sliding window);
+* **checkpointed recovery**: periodic engine-state snapshots so replay
+  cost is bounded by writes-since-checkpoint, not the full history;
+* **graceful degradation**: a configurable adjudication fallback chain
+  (majority → compare → primary) with quorum-loss accounting when the
+  active replica set drops below what the configured policy needs.
+
+Everything is deterministic: time is the virtual clock, which advances
+one unit per statement executed through the middleware, so backoff
+schedules, circuit-breaker windows, and checkpoint cadence reproduce
+exactly across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.dialects.translator import translate_script
+from repro.errors import EngineCrash, SqlError
+from repro.sqlengine.engine import EngineSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.middleware.server import DiverseServer, Replica
+
+
+class ReplicaState(Enum):
+    """Health state of one replica inside the middleware.
+
+    ``ACTIVE``
+        Serving statements and voting.
+    ``SUSPECTED``
+        An anomaly (crash or out-vote) was just observed; the replica is
+        given one retry before any eviction decision.  Transient.
+    ``QUARANTINED``
+        Removed from the active set; recovery attempts are scheduled
+        with exponential backoff on the virtual clock.
+    ``FAILED``
+        Recovery was abandoned (per-incident retry budget exhausted, or
+        supervision is disabled).  Manual :meth:`DiverseServer.recover`
+        can still bring the replica back.
+    ``RETIRED``
+        The circuit breaker tripped: too many failed recoveries inside
+        the window (a crash loop).  Terminal unless forced.
+    """
+
+    ACTIVE = "active"
+    SUSPECTED = "suspected"
+    QUARANTINED = "quarantined"
+    FAILED = "failed"
+    RETIRED = "retired"
+
+
+class VirtualClock:
+    """Deterministic time source for the supervisor.
+
+    The middleware advances the clock one unit per client statement, so
+    backoff delays are measured in statements — reproducible and free of
+    wall-clock flakiness.  Tests may advance it directly.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float = 1.0) -> float:
+        if delta < 0:
+            raise ValueError("the virtual clock cannot run backwards")
+        self._now += delta
+        return self._now
+
+
+#: Minimum active replicas each adjudication policy needs to deliver
+#: its guarantee (majority voting is meaningless below three).
+POLICY_QUORUM = {"majority": 3, "compare": 2, "monitor": 1, "primary": 1}
+
+
+@dataclass
+class SupervisorPolicy:
+    """Tunable knobs of the replica supervision subsystem."""
+
+    #: Re-execute a statement once on a crashed/out-voted replica before
+    #: suspecting it, so probabilistic Heisenbug faults (Section 3.2)
+    #: don't evict a healthy product.  Out-vote retries apply to reads
+    #: only (re-running a write would double-apply it).
+    statement_retry: bool = True
+    #: Failed recovery attempts per incident before giving up (FAILED).
+    max_recovery_attempts: int = 8
+    #: Backoff before retry ``n`` is ``min(base * factor**(n-1), cap)``
+    #: virtual-clock units; the first attempt of an incident is
+    #: immediate.
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = 64.0
+    #: Circuit breaker: this many failed recoveries within
+    #: ``circuit_window`` clock units retires the replica for good.
+    circuit_threshold: int = 5
+    circuit_window: float = 256.0
+    #: Snapshot every active replica's engine after this many committed
+    #: writes; ``None`` disables checkpointing (full replay always).
+    checkpoint_interval: Optional[int] = 32
+    #: Adjudication fallback order when active replicas drop below the
+    #: configured policy's quorum (see :data:`POLICY_QUORUM`).
+    degradation_chain: tuple = ("majority", "compare", "primary")
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (attempt 0 is immediate)."""
+        if attempt <= 0:
+            return 0.0
+        return min(self.backoff_base * self.backoff_factor ** (attempt - 1), self.backoff_cap)
+
+
+@dataclass
+class Checkpoint:
+    """One replica's engine snapshot plus its position in the write log."""
+
+    log_position: int
+    snapshot: EngineSnapshot
+    taken_at: float
+
+
+@dataclass
+class ReplicaHealth:
+    """Supervision bookkeeping for one replica."""
+
+    #: Failed recovery attempts in the current incident.
+    attempts: int = 0
+    #: Virtual time of the next scheduled recovery attempt.
+    next_attempt_at: Optional[float] = None
+    #: Virtual time the current incident started.
+    quarantined_at: Optional[float] = None
+    #: Virtual times of failed recoveries (pruned to the circuit window).
+    failure_times: list = field(default_factory=list)
+    #: Total quarantine incidents.
+    quarantines: int = 0
+    #: Latest engine snapshot, if checkpointing is enabled.
+    checkpoint: Optional[Checkpoint] = None
+    #: Statements replayed by each successful recovery (bench telemetry).
+    replay_lengths: list = field(default_factory=list)
+    #: Virtual time the last successful recovery took from quarantine.
+    last_recovery_duration: float = 0.0
+
+
+class ReplicaSupervisor:
+    """Drives replica lifecycle for one :class:`DiverseServer`.
+
+    The server reports incidents (:meth:`quarantine`) and ticks the
+    clock once per statement (:meth:`tick`); the supervisor schedules
+    and performs recoveries, takes checkpoints, trips the circuit
+    breaker, and picks the effective adjudication policy under
+    degradation.  All counters surface through ``MiddlewareStats``.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[SupervisorPolicy] = None,
+        clock: Optional[VirtualClock] = None,
+    ) -> None:
+        self.policy = policy or SupervisorPolicy()
+        self.clock = clock or VirtualClock()
+        self._server: Optional["DiverseServer"] = None
+        self._last_checkpoint_writes = 0
+
+    def attach(self, server: "DiverseServer") -> None:
+        self._server = server
+
+    @property
+    def stats(self):
+        return self._server.stats
+
+    # -- statement-time hooks ------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance virtual time one statement and run due recoveries."""
+        self.clock.advance(1.0)
+        self.poll()
+
+    def poll(self) -> None:
+        """Attempt recovery on every quarantined replica whose backoff
+        has elapsed."""
+        for replica in self._server.replicas:
+            health = replica.health
+            if (
+                replica.state is ReplicaState.QUARANTINED
+                and health.next_attempt_at is not None
+                and health.next_attempt_at <= self.clock.now
+            ):
+                self.attempt_recovery(replica)
+
+    def maybe_checkpoint(self) -> None:
+        """Snapshot all active replicas once enough writes accumulated.
+
+        Skipped while a transaction is open (the write log's BEGIN/COMMIT
+        markers must not straddle a checkpoint boundary) and retried on
+        the next committed write.
+        """
+        interval = self.policy.checkpoint_interval
+        if not interval:
+            return
+        if self.stats.writes - self._last_checkpoint_writes < interval:
+            return
+        active = self._server.active_replicas()
+        if not active:
+            return
+        if any(r.product.engine.transactions.in_transaction for r in active):
+            return
+        position = len(self._server._write_log)
+        for replica in active:
+            replica.health.checkpoint = Checkpoint(
+                log_position=position,
+                snapshot=replica.product.snapshot(),
+                taken_at=self.clock.now,
+            )
+        self.stats.checkpoints += 1
+        self._last_checkpoint_writes = self.stats.writes
+
+    # -- incidents -----------------------------------------------------------
+
+    def quarantine(self, replica: "Replica") -> None:
+        """Evict a replica from the active set and start recovering it.
+
+        The first recovery attempt of an incident runs immediately;
+        subsequent attempts back off exponentially.
+        """
+        health = replica.health
+        replica.state = ReplicaState.QUARANTINED
+        health.quarantines += 1
+        health.attempts = 0
+        health.quarantined_at = self.clock.now
+        health.next_attempt_at = self.clock.now
+        self.stats.quarantines += 1
+        self.attempt_recovery(replica)
+
+    def attempt_recovery(self, replica: "Replica", *, manual: bool = False) -> bool:
+        """One recovery attempt: checkpoint restore + tail replay, or
+        full replay when no checkpoint exists.  Returns success."""
+        health = replica.health
+        try:
+            replayed = self._replay(replica)
+        except EngineCrash:
+            self._recovery_failed(replica, manual=manual)
+            return False
+        replica.state = ReplicaState.ACTIVE
+        health.attempts = 0
+        health.next_attempt_at = None
+        health.replay_lengths.append(replayed)
+        if health.quarantined_at is not None:
+            health.last_recovery_duration = self.clock.now - health.quarantined_at
+            health.quarantined_at = None
+        self.stats.replayed_statements += replayed
+        replica.stats.recoveries += 1
+        self.stats.recoveries += 1
+        return True
+
+    def retire(self, replica: "Replica") -> None:
+        """Circuit breaker action: take the replica out permanently."""
+        replica.state = ReplicaState.RETIRED
+        replica.health.next_attempt_at = None
+        self.stats.retirements += 1
+
+    # -- degradation ---------------------------------------------------------
+
+    def effective_adjudication(
+        self, configured: str, active_count: int, total_count: int
+    ) -> str:
+        """The strongest policy in the degradation chain the current
+        active replica count can support, starting from ``configured``.
+
+        Quorum requirements are capped at the deployment's total replica
+        count: a 2-replica ``majority`` configuration never had three
+        voters, so it only degrades on actual replica loss.
+        """
+
+        def need(policy: str) -> int:
+            return min(POLICY_QUORUM.get(policy, 1), total_count)
+
+        if active_count >= need(configured):
+            return configured
+        chain = self.policy.degradation_chain
+        if configured in chain:
+            for candidate in chain[chain.index(configured) + 1:]:
+                if active_count >= need(candidate):
+                    return candidate
+        return configured
+
+    # -- internals -----------------------------------------------------------
+
+    def _replay(self, replica: "Replica") -> int:
+        """Rebuild a replica's engine state; returns statements replayed.
+
+        With a checkpoint: restore the snapshot, replay only the write
+        log tail past its position.  Without: reset to a fresh install
+        and replay the full history.  The engine is flagged as being in
+        its recovery phase so recovery-scoped faults
+        (:class:`repro.faults.triggers.RecoveryTrigger`) can fire.
+        """
+        product = replica.product
+        health = replica.health
+        log = self._server._write_log
+        if health.checkpoint is not None:
+            product.restart()
+            product.restore(health.checkpoint.snapshot)
+            tail = log[health.checkpoint.log_position:]
+            self.stats.checkpoint_replays += 1
+        else:
+            product.reset()
+            product.restart()
+            tail = list(log)
+            self.stats.full_replays += 1
+        pending = self._server._pending_write
+        if pending is not None:
+            tail = tail + [pending]
+        engine = product.engine
+        engine.phase = "recover"
+        try:
+            for sql in tail:
+                try:
+                    product.execute(translate_script(sql, product.descriptor))
+                except SqlError:
+                    continue  # statements that legitimately error replay as errors
+        finally:
+            engine.phase = "serve"
+        return len(tail)
+
+    def _recovery_failed(self, replica: "Replica", *, manual: bool) -> None:
+        health = replica.health
+        now = self.clock.now
+        health.failure_times.append(now)
+        health.failure_times = [
+            t for t in health.failure_times if now - t <= self.policy.circuit_window
+        ]
+        if manual and not self._server.supervised:
+            replica.state = ReplicaState.FAILED
+            return
+        if len(health.failure_times) >= self.policy.circuit_threshold:
+            self.retire(replica)
+            return
+        health.attempts += 1
+        if health.attempts >= self.policy.max_recovery_attempts:
+            replica.state = ReplicaState.FAILED
+            health.next_attempt_at = None
+            return
+        replica.state = ReplicaState.QUARANTINED
+        health.next_attempt_at = now + self.policy.backoff_delay(health.attempts)
+        self.stats.backoff_waits += 1

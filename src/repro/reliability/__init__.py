@@ -7,6 +7,11 @@ failure-rate variation, usage profiles), and a Monte Carlo simulator of
 the failure process of 1-version vs diverse N-version configurations.
 """
 
+from repro.reliability.availability import (
+    QuarantinePolicyModel,
+    ReplicaAvailability,
+    service_availability,
+)
 from repro.reliability.model import (
     PairGain,
     ReliabilityModel,
@@ -21,9 +26,12 @@ from repro.reliability.profiles import UsageProfile, profile_sensitivity
 __all__ = [
     "FailureProcessSimulator",
     "PairGain",
+    "QuarantinePolicyModel",
     "ReliabilityModel",
+    "ReplicaAvailability",
     "SimulationOutcome",
     "UsageProfile",
     "pair_gains_from_study",
     "profile_sensitivity",
+    "service_availability",
 ]

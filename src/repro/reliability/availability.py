@@ -112,3 +112,71 @@ def improvement_summary(
         "diverse_majority": service_availability(replicas, policy="majority"),
         "diverse_lockstep": service_availability(replicas, policy="all"),
     }
+
+
+@dataclass(frozen=True)
+class QuarantinePolicyModel:
+    """MTTR of a *supervised* replica: quarantine, backoff, retirement.
+
+    The middleware's supervisor does not repair a replica in one shot:
+    each incident triggers up to ``max_attempts`` recovery attempts,
+    attempt ``n`` preceded by ``min(base * factor**(n-1), cap)`` units
+    of backoff (the first attempt is immediate) and costing
+    ``attempt_cost`` units of replay work.  Each attempt independently
+    succeeds with ``success_probability``; exhausting the budget means
+    the circuit breaker retires the replica.  This model turns those
+    policy knobs into the effective repair rate the alternating-renewal
+    availability model above consumes — the quarantine/MTTR term of the
+    Section 2.1 availability argument.
+    """
+
+    #: Probability one recovery attempt completes (replay does not crash).
+    success_probability: float
+    max_attempts: int = 8
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = 64.0
+    #: Repair-time units one replay attempt consumes.
+    attempt_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.success_probability <= 1.0:
+            raise ValueError("success_probability must be in (0, 1]")
+        if self.max_attempts < 1:
+            raise ValueError("at least one recovery attempt is needed")
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt`` (attempt 0 is immediate)."""
+        if attempt <= 0:
+            return 0.0
+        return min(self.backoff_base * self.backoff_factor ** (attempt - 1), self.backoff_cap)
+
+    @property
+    def retirement_probability(self) -> float:
+        """Probability an incident ends in circuit-breaker retirement."""
+        return (1.0 - self.success_probability) ** self.max_attempts
+
+    def expected_repair_time(self) -> float:
+        """E[time from quarantine to rejoin | recovery succeeds].
+
+        Sums backoff waits plus replay costs over the attempt at which
+        recovery first succeeds, conditioned on success within the
+        attempt budget (retired incidents leave the renewal process).
+        """
+        p = self.success_probability
+        q = 1.0 - p
+        success_within_budget = 1.0 - q**self.max_attempts
+        expected = 0.0
+        elapsed = 0.0
+        for attempt in range(self.max_attempts):
+            elapsed += self.backoff_delay(attempt) + self.attempt_cost
+            expected += (q**attempt) * p * elapsed
+        return expected / success_within_budget
+
+    def effective_replica(self, failure_rate: float) -> ReplicaAvailability:
+        """The supervised replica as an alternating-renewal process:
+        its repair rate is the reciprocal of the backoff-aware MTTR."""
+        return ReplicaAvailability(
+            failure_rate=failure_rate,
+            repair_rate=1.0 / self.expected_repair_time(),
+        )

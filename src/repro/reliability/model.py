@@ -23,7 +23,6 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
 
 from repro.dialects.features import SERVER_KEYS
 from repro.faults.spec import Detectability

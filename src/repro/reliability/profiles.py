@@ -12,7 +12,6 @@ dependability gains" for a *specific* installation.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Sequence
 

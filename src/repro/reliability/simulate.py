@@ -16,11 +16,9 @@ undetected wrong results.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.dialects.features import SERVER_KEYS
-from repro.faults.spec import Detectability
 from repro.study.runner import StudyResult
 
 

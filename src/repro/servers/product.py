@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 from repro.dialects.features import DialectDescriptor
 from repro.faults.injector import FaultInjector
@@ -87,6 +87,14 @@ class ServerProduct:
     def restart(self) -> None:
         """Restart after a crash, keeping data (recovery path)."""
         self.engine.restart()
+
+    def snapshot(self):
+        """Capture the engine's durable state (checkpointed recovery)."""
+        return self.engine.snapshot()
+
+    def restore(self, snapshot) -> None:
+        """Replace the engine's state with a checkpoint snapshot."""
+        self.engine.restore(snapshot)
 
     # -- fault management ----------------------------------------------------------
 

@@ -17,7 +17,7 @@ not whether software regresses (they do survive; see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.bugs.corpus import Corpus

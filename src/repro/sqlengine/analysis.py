@@ -28,7 +28,6 @@ Tag vocabulary (stable, part of the public API):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.functions import AGGREGATE_NAMES

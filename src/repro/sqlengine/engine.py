@@ -10,6 +10,7 @@ sharing one correct engine.
 
 from __future__ import annotations
 
+import copy
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -80,6 +81,21 @@ class ExecutionContext:
             self.dynamic_tags.add("view.distinct_used")
 
 
+@dataclass
+class EngineSnapshot:
+    """A self-contained copy of an engine's durable state.
+
+    Used by the middleware's checkpointed recovery: restoring a snapshot
+    and replaying the write-log tail past it is equivalent to replaying
+    the full history, at a cost bounded by writes-since-checkpoint.
+    The snapshot owns deep copies, so it stays valid however the live
+    engine mutates afterwards and can be restored repeatedly.
+    """
+
+    catalog: Catalog
+    storage: Storage
+
+
 class NullInjector:
     """Fault injector that injects nothing (a correct server)."""
 
@@ -113,6 +129,9 @@ class Engine:
         self.transactions = TransactionManager()
         self.crashed = False
         self.statements_executed = 0
+        #: 'serve' normally; 'recover' while the middleware replays the
+        #: write log onto this engine (recovery-scoped faults key on it).
+        self.phase = "serve"
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -126,6 +145,21 @@ class Engine:
     def restart(self) -> None:
         """Recover from a crash: open transactions are lost, data kept."""
         self.transactions.abort_if_open()
+        self.crashed = False
+
+    def snapshot(self) -> EngineSnapshot:
+        """Capture the full durable state (schema + rows)."""
+        return EngineSnapshot(
+            catalog=copy.deepcopy(self.catalog),
+            storage=copy.deepcopy(self.storage),
+        )
+
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        """Replace the engine's state with a snapshot's; clears crash
+        state.  The snapshot is copied, so it can be restored again."""
+        self.transactions.abort_if_open()
+        self.catalog = copy.deepcopy(snapshot.catalog)
+        self.storage = copy.deepcopy(snapshot.storage)
         self.crashed = False
 
     # -- execution -----------------------------------------------------------

@@ -10,7 +10,7 @@ from repro.bugs.corpus import Corpus, build_corpus
 from repro.bugs.report import BugReport
 from repro.dialects.features import SERVER_KEYS, dialect
 from repro.dialects.translator import render_tokens, translate_script
-from repro.errors import EngineCrash, FeatureNotSupported, ReproError, SqlError
+from repro.errors import EngineCrash, FeatureNotSupported, SqlError
 from repro.faults.spec import FaultSpec
 from repro.servers.product import ServerProduct
 from repro.sqlengine.lexer import tokenize

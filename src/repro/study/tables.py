@@ -3,13 +3,11 @@ computed from an executed :class:`~repro.study.runner.StudyResult`."""
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from repro.bugs import groundtruth as gt
 from repro.dialects.features import SERVER_KEYS
-from repro.faults.spec import Detectability, FailureKind
+from repro.faults.spec import FailureKind
 from repro.middleware.normalizer import normalize_signature
 from repro.study.classify import CellOutcome, OutcomeKind
 from repro.study.runner import StudyResult

@@ -7,7 +7,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Protocol
 
-from repro.errors import AdjudicationFailure, EngineCrash, ReproError, SqlError
+from repro.errors import (
+    AdjudicationFailure,
+    EngineCrash,
+    NoReplicasAvailable,
+    ReproError,
+    SqlError,
+)
 from repro.workload.generator import TpccGenerator, Transaction
 from repro.workload.schema import SCHEMA_STATEMENTS, populate_statements
 
@@ -27,6 +33,7 @@ class WorkloadMetrics:
     sql_errors: int = 0
     detected_disagreements: int = 0
     crashes: int = 0
+    outages: int = 0
     aborted_transactions: int = 0
     retried_successes: int = 0
     exhausted_retries: int = 0
@@ -45,6 +52,7 @@ class WorkloadMetrics:
             self.sql_errors == 0
             and self.detected_disagreements == 0
             and self.crashes == 0
+            and self.outages == 0
         )
 
 
@@ -114,6 +122,10 @@ class WorkloadRunner:
                     in_transaction = False
             except AdjudicationFailure:
                 metrics.detected_disagreements += 1
+                self._abort(metrics, in_transaction)
+                return False
+            except NoReplicasAvailable:
+                metrics.outages += 1
                 self._abort(metrics, in_transaction)
                 return False
             except EngineCrash:

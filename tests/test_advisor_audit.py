@@ -1,6 +1,5 @@
 """Deployment advisor and fault-audit tests."""
 
-import pytest
 
 from repro.faults.audit import audit_faults, dead_faults, shared_fault_coverage
 from repro.reliability.advisor import advise, recommend, score_configuration

@@ -6,7 +6,7 @@ from repro.errors import CatalogError
 from repro.sqlengine.catalog import Catalog, ColumnDef, IndexDef, TableSchema, ViewDef
 from repro.sqlengine.parser import parse_statement
 from repro.sqlengine.storage import Storage, TableData
-from repro.sqlengine.types import INTEGER, varchar
+from repro.sqlengine.types import INTEGER
 
 
 def schema(name="t", columns=("a", "b")):

@@ -1,6 +1,5 @@
 """CLI smoke tests (python -m repro ...)."""
 
-import pytest
 
 from repro.__main__ import main
 
@@ -17,6 +16,13 @@ class TestCli:
         assert main(["tpcc", "10"]) == 0
         output = capsys.readouterr().out
         assert "1v IB" in output and "2v IB+OR" in output
+
+    def test_crashstorm_command(self, capsys):
+        assert main(["crashstorm", "30"]) == 0
+        output = capsys.readouterr().out
+        assert "crash storm" in output
+        assert "quarantines=" in output
+        assert "client-visible crashes=0 outages=0" in output
 
     def test_unknown_command_prints_usage(self, capsys):
         assert main(["bogus"]) == 2

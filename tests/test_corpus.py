@@ -3,7 +3,6 @@ truth before any execution happens."""
 
 from collections import Counter
 
-import pytest
 
 from repro.bugs import build_corpus
 from repro.bugs import groundtruth as gt

@@ -5,8 +5,6 @@ from decimal import Decimal
 import pytest
 
 from repro.errors import BindError, TypeMismatch
-from repro.sqlengine import Engine
-from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.expressions import (
     ColumnBinding,
     Environment,

@@ -66,9 +66,10 @@ class TestFourVersions:
     def test_quad_survives_double_crash(self):
         from repro.faults import CrashEffect
 
-        crash = lambda fid: FaultSpec(
-            fid, "crash", RelationTrigger(["t"], kind="select"), CrashEffect()
-        )
+        def crash(fid):
+            return FaultSpec(
+                fid, "crash", RelationTrigger(["t"], kind="select"), CrashEffect()
+            )
         server = setup_four({"PG": [crash("C1")], "OR": [crash("C2")]})
         result = server.execute("SELECT a FROM t ORDER BY a")
         assert len(result.rows) == 3

@@ -2,7 +2,6 @@
 tables must be internally consistent with the published marginals
 before any SQL runs (fast guards for future edits)."""
 
-import pytest
 
 from repro.bugs import groundtruth as gt
 from repro.bugs.notable import NOTABLE_CELLS

@@ -1,6 +1,5 @@
 """End-to-end integration scenarios spanning multiple subsystems."""
 
-import pytest
 
 from repro.bugs import build_corpus
 from repro.errors import AdjudicationFailure

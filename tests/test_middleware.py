@@ -7,14 +7,7 @@ from repro.errors import (
     MiddlewareError,
     SqlError,
 )
-from repro.faults import (
-    CrashEffect,
-    ErrorEffect,
-    FaultSpec,
-    RelationTrigger,
-    RowDropEffect,
-    ValueSkewEffect,
-)
+from repro.faults import CrashEffect, ErrorEffect, FaultSpec, RelationTrigger, RowDropEffect
 from repro.middleware import DiverseServer, ReplicaState, ResultComparator
 from repro.middleware.comparator import ReplicaAnswer
 from repro.middleware.normalizer import normalize_result, normalize_value

@@ -3,7 +3,6 @@ products historically disagreed (and where bug scripts poke)."""
 
 import pytest
 
-from repro.sqlengine import Engine
 
 
 @pytest.fixture

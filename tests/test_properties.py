@@ -2,7 +2,6 @@
 
 from decimal import Decimal
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -14,7 +13,6 @@ from repro.sqlengine.tokens import TokenKind
 from repro.sqlengine.values import (
     distinct_key,
     like_match,
-    row_key,
     sql_add,
     sql_compare,
     sql_mul,

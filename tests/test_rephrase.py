@@ -6,8 +6,6 @@ from repro.errors import AdjudicationFailure, SqlError
 from repro.faults import ErrorEffect, FaultSpec, RelationTrigger, RowDropEffect, TagTrigger
 from repro.middleware.rephrase import QueryRephraser, RephrasingWrapper
 from repro.servers import make_server
-from repro.sqlengine import Engine
-from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.parser import parse_statement
 from repro.sqlengine.sqlgen import render_statement
 
@@ -106,13 +104,9 @@ class TestRephrasingWrapper:
         assert wrapper.stats.masked_errors == 1
 
     def test_detects_when_rephrased_spelling_errors(self):
-        fault = FaultSpec(
-            "F-OR", "errors on OR chains",
-            TagTrigger(required=["clause.in_list"], kind="select"),
-            ErrorEffect("boom"),
-        )
-        # Fault fires on the ORIGINAL IN-list; the rephrased OR chain is
-        # fine -> masked. Flip: fault on rephrased shape only.
+        # A fault on the ORIGINAL IN-list spelling would be masked by
+        # the rephrased OR chain; flipped, the fault fires on the
+        # rephrased shape only, so the wrapper can detect but not mask.
         fault_flipped = FaultSpec(
             "F-OR2", "errors when OR used without IN",
             TagTrigger(forbidden=["clause.in_list"], required=["stmt.select"])

@@ -4,7 +4,6 @@ rephrased query must return exactly the same rows."""
 
 import itertools
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

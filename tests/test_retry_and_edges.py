@@ -5,7 +5,6 @@ import pytest
 from repro.errors import BindError
 from repro.faults import FaultSpec, RelationTrigger, RowDropEffect, ErrorEffect
 from repro.servers import make_server
-from repro.sqlengine import Engine
 from repro.workload import TpccGenerator, WorkloadRunner
 
 

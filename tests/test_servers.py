@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import EngineCrash, FeatureNotSupported
 from repro.faults import CrashEffect, FaultSpec, RelationTrigger
-from repro.servers import make_all_servers, make_server
+from repro.servers import make_server
 from repro.servers.product import clone_pristine
 
 

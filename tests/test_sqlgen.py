@@ -3,7 +3,6 @@ where executable, produces the same result."""
 
 import pytest
 
-from repro.sqlengine import Engine
 from repro.sqlengine.parser import parse_statement
 from repro.sqlengine.sqlgen import render_statement
 

@@ -1,10 +1,9 @@
 """Study harness tests: classifier units plus the headline result —
 the executed study reproduces the paper's Tables 1-4."""
 
-import pytest
 
 from repro.bugs import groundtruth as gt
-from repro.faults.spec import Detectability, FailureKind
+from repro.faults.spec import FailureKind
 from repro.study import (
     OutcomeKind,
     build_table1,

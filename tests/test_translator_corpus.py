@@ -3,8 +3,8 @@ performs is executable and stable."""
 
 import pytest
 
-from repro.dialects import dialect, translate_script
-from repro.errors import EngineCrash, FeatureNotSupported, SqlError
+from repro.dialects import translate_script
+from repro.errors import FeatureNotSupported
 from repro.servers import make_server
 from repro.study.runner import run_script
 

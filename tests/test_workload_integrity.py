@@ -4,10 +4,9 @@ the property the middleware's cross-replica comparison relies on."""
 
 from decimal import Decimal
 
-import pytest
 
 from repro.servers import make_server
-from repro.workload import TpccGenerator, TransactionMix, WorkloadRunner
+from repro.workload import TpccGenerator, WorkloadRunner
 
 
 def run_on(key, seed=31, transactions=80):
