@@ -1,0 +1,244 @@
+"""Experiment W6 — statement deadlines vs hangs and stalls.
+
+The cost-ratio performance check (experiment W2's detector) needs an
+answer to compare; a *hung* replica never produces one, so the only
+detector that works is a watchdog: a statement-deadline budget in
+virtual-cost units.  This experiment prices that watchdog:
+
+* **Throughput vs deadline** — a sweep over deadline budgets against a
+  3-version majority configuration whose IB replica stalls recurrently.
+  A too-tight deadline (below the healthy statement cost) quarantines
+  good replicas on every statement — the false-positive side of the
+  trade-off the analytic :class:`TimeoutPolicyModel` prices; a too-loose
+  deadline stops seeing the stall at all and falls back to the slower
+  cost-ratio detection path.
+* **Detection latency, hangs vs stalls** — the watchdog declares both a
+  hang and a stall at the deadline budget; the cost-ratio check catches
+  the stall only when the late answer finally lands, and the hang
+  *never*.  The audit trail exposes both latencies.
+
+Run standalone for CI smoke coverage::
+
+    PYTHONPATH=src python benchmarks/bench_deadlines.py --smoke
+"""
+
+import argparse
+import math
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.faults import (  # noqa: E402
+    Detectability,
+    FailureKind,
+    FaultSpec,
+    HangEffect,
+    SqlPatternTrigger,
+    StallEffect,
+)
+from repro.middleware import DiverseServer, SupervisorPolicy  # noqa: E402
+from repro.reliability import TimeoutPolicyModel  # noqa: E402
+from repro.servers import make_server  # noqa: E402
+from repro.workload import TpccGenerator, WorkloadRunner  # noqa: E402
+
+TRANSACTIONS = 60
+STALL_DELAY = 100.0
+#: None = no watchdog; 200 misses the stall (1 + 100 <= 200); 5 and 50
+#: catch it; 0.9 sits below the healthy statement cost of 1.0, so every
+#: healthy answer is a false positive.
+DEADLINE_SWEEP = [None, 200.0, 50.0, 5.0, 0.9]
+
+
+def stall_fault(delay=STALL_DELAY):
+    # Read-only trigger on purpose: the pattern never enters the write
+    # log, so recovery replay is not re-stalled and each quarantine
+    # cycle measures only the watchdog, not a recovery pathology.
+    return FaultSpec(
+        "W6-STALL",
+        "stalls on customer balance lookups",
+        SqlPatternTrigger(r"SELECT\s+c_balance"),
+        StallEffect(delay=delay),
+        kind=FailureKind.PERFORMANCE,
+        detectability=Detectability.SELF_EVIDENT,
+    )
+
+
+def hang_fault():
+    return FaultSpec(
+        "W6-HANG",
+        "never returns from stock-level analysis queries",
+        SqlPatternTrigger(r"COUNT\s*\(\s*DISTINCT\s+s_i_id"),
+        HangEffect("scheduler wedged on a latch"),
+        kind=FailureKind.PERFORMANCE,
+        detectability=Detectability.SELF_EVIDENT,
+    )
+
+
+def run_storm(fault, deadline, transactions=TRANSACTIONS):
+    server = DiverseServer(
+        [make_server("IB", [fault]), make_server("OR"), make_server("MS")],
+        adjudication="majority",
+        policy=SupervisorPolicy(checkpoint_interval=16),
+    )
+    runner = WorkloadRunner(server, seed=13)
+    runner.setup()
+    # Arm the watchdog only for the measured workload: schema load is a
+    # bulk operation no sane deployment runs under a statement deadline.
+    server.supervisor.policy.statement_deadline = deadline
+    metrics = runner.run(transactions, generator=TpccGenerator(seed=13))
+    return metrics, server
+
+
+def sweep(transactions=TRANSACTIONS, deadlines=DEADLINE_SWEEP):
+    rows = []
+    for deadline in deadlines:
+        metrics, server = run_storm(stall_fault(), deadline, transactions)
+        model = (
+            TimeoutPolicyModel(deadline=deadline, stall_delay=STALL_DELAY)
+            if deadline is not None
+            else None
+        )
+        rows.append(
+            {
+                "deadline": deadline,
+                "stmt_per_s": metrics.statements_per_second,
+                "timeouts": server.stats.statement_timeouts,
+                "quarantines": server.stats.quarantines,
+                "retirements": server.stats.retirements,
+                "performance_anomalies": server.stats.performance_anomalies,
+                "client_timeouts": metrics.timed_out_statements,
+                "outages": metrics.outages,
+                "fp_rate": model.false_positive_rate if model else 0.0,
+                "consistent": server.verify_consistency() == {},
+            }
+        )
+    return rows
+
+
+def print_sweep(rows):
+    print("\n=== W6: throughput vs statement deadline (stalling IB replica) ===")
+    print(f"{'deadline':>9} {'stmt/s':>8} {'timeouts':>8} {'quar':>5} "
+          f"{'retired':>7} {'ratio-det':>9} {'outages':>7} {'fp-rate':>9}")
+    for row in rows:
+        label = "none" if row["deadline"] is None else f"{row['deadline']:g}"
+        print(f"{label:>9} {row['stmt_per_s']:>8.0f} {row['timeouts']:>8} "
+              f"{row['quarantines']:>5} {row['retirements']:>7} "
+              f"{row['performance_anomalies']:>9} {row['outages']:>7} "
+              f"{row['fp_rate']:>9.2e}")
+
+
+def check_sweep(rows):
+    by_deadline = {row["deadline"]: row for row in rows}
+    # No watchdog: no timeouts; the stall is seen only by the
+    # cost-ratio check, which needs the late answer to land.
+    assert by_deadline[None]["timeouts"] == 0
+    assert by_deadline[None]["performance_anomalies"] >= 1
+    # A deadline looser than healthy-cost + stall misses the stall too.
+    assert by_deadline[200.0]["timeouts"] == 0
+    # Deadlines between the healthy cost and the stall catch it.
+    assert by_deadline[50.0]["timeouts"] >= 1
+    assert by_deadline[5.0]["timeouts"] >= by_deadline[50.0]["timeouts"]
+    # Below the healthy statement cost, every answer is a false
+    # positive: good replicas are quarantined until the circuit breaker
+    # retires them and the service goes dark — while a sane deadline
+    # quarantines only the stalling replica and keeps the service up.
+    assert by_deadline[5.0]["retirements"] == 0
+    assert by_deadline[5.0]["outages"] == 0
+    assert by_deadline[0.9]["retirements"] == 3
+    assert by_deadline[0.9]["outages"] >= 1
+    # The analytic model prices exactly that cliff.
+    assert by_deadline[0.9]["fp_rate"] > 0.5 > by_deadline[5.0]["fp_rate"]
+    # Wherever the circuit breaker did not retire anybody, replica
+    # state stayed mutually consistent through every quarantine cycle.
+    assert all(row["consistent"] for row in rows if row["retirements"] == 0)
+
+
+def detection_latency(transactions=TRANSACTIONS, deadline=50.0):
+    outcomes = {}
+    for label, fault in [("hang", hang_fault()), ("stall", stall_fault())]:
+        metrics, server = run_storm(fault, deadline, transactions)
+        entries = server.timeout_audit
+        # The watchdog declares the failure once the deadline budget is
+        # spent; the cost-ratio path has to wait for the answer itself.
+        watchdog = [min(entry.virtual_cost, entry.deadline) for entry in entries]
+        arrival = [entry.virtual_cost for entry in entries]
+        outcomes[label] = {
+            "entries": entries,
+            "watchdog_latency": max(watchdog, default=0.0),
+            "arrival_latency": max(arrival, default=0.0),
+            "quarantines": server.stats.quarantines,
+            "recoveries": server.stats.recoveries,
+            "client_timeouts": metrics.timed_out_statements,
+            "outages": metrics.outages,
+        }
+    return outcomes
+
+
+def print_latency(outcomes, deadline=50.0):
+    model = TimeoutPolicyModel(deadline=deadline, stall_delay=STALL_DELAY)
+    print(f"\n=== W6: detection latency at deadline={deadline:g} ===")
+    for label, row in outcomes.items():
+        arrival = row["arrival_latency"]
+        arrival_text = "never" if math.isinf(arrival) else f"{arrival:g}"
+        print(f"{label:>5}: watchdog declares at {row['watchdog_latency']:g} "
+              f"virtual-cost units; answer lands at {arrival_text} "
+              f"(quarantines={row['quarantines']} "
+              f"recoveries={row['recoveries']} outages={row['outages']})")
+    print(f"model: hang detection p={model.hang_detection_probability:g}, "
+          f"stall detection p={model.stall_detection_probability:g}, "
+          f"latency={model.detection_latency:g}")
+
+
+def check_latency(outcomes, deadline=50.0):
+    hang, stall = outcomes["hang"], outcomes["stall"]
+    assert hang["entries"] and all(e.kind == "hang" for e in hang["entries"])
+    assert stall["entries"] and all(e.kind == "stall" for e in stall["entries"])
+    # Both are declared at the deadline budget...
+    assert hang["watchdog_latency"] == deadline
+    assert stall["watchdog_latency"] == deadline
+    # ...but only the stall's answer ever arrives for a ratio check.
+    assert math.isinf(hang["arrival_latency"])
+    assert stall["arrival_latency"] > deadline
+    # Neither storm took the service down.
+    assert hang["outages"] == 0
+    assert stall["outages"] == 0
+
+
+def test_bench_deadline_sweep(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_sweep(rows)
+    check_sweep(rows)
+
+
+def test_bench_detection_latency(benchmark):
+    outcomes = benchmark.pedantic(detection_latency, rounds=1, iterations=1)
+    print_latency(outcomes)
+    check_latency(outcomes)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sweep for CI: fewer transactions, same invariants",
+    )
+    parser.add_argument("--transactions", type=int, default=TRANSACTIONS)
+    options = parser.parse_args(argv)
+    transactions = 24 if options.smoke else options.transactions
+    rows = sweep(transactions)
+    print_sweep(rows)
+    check_sweep(rows)
+    outcomes = detection_latency(transactions)
+    print_latency(outcomes)
+    check_latency(outcomes)
+    print("\nW6 invariants hold"
+          + (" (smoke)" if options.smoke else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

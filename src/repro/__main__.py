@@ -16,6 +16,12 @@ Commands
     majority configuration whose IB replica crashes repeatedly — both
     in service and during recovery replay — and print the supervisor's
     quarantine/backoff/checkpoint/retirement telemetry.
+``hangstorm [N]``
+    Run N TPC-C-style transactions (default 120) through a 3-version
+    majority configuration with a statement deadline, whose IB replica
+    hangs on stock-level analysis queries and suffers one transient
+    stall — and print the watchdog's timeout/audit/quarantine
+    telemetry (the paper's self-evident *performance* failure class).
 ``report [PATH]``
     Write a full markdown study report (default: study_report.md).
 ``export [PATH]``
@@ -167,6 +173,65 @@ def cmd_crashstorm(count: int) -> int:
     return 0
 
 
+def cmd_hangstorm(count: int) -> int:
+    from repro.faults import (
+        Detectability,
+        FailureKind,
+        FaultSpec,
+        HangEffect,
+        SqlPatternTrigger,
+        StallEffect,
+    )
+    from repro.middleware import DiverseServer, SupervisorPolicy
+    from repro.servers import make_server
+    from repro.workload import WorkloadRunner
+
+    hang = FaultSpec(
+        "STORM-HANG",
+        "never returns from stock-level analysis queries",
+        SqlPatternTrigger(r"COUNT\s*\(\s*DISTINCT\s+s_i_id"),
+        HangEffect("scheduler wedged on a latch"),
+        kind=FailureKind.PERFORMANCE,
+        detectability=Detectability.SELF_EVIDENT,
+    )
+    stall = FaultSpec(
+        "STORM-STALL",
+        "one transient stall on customer balance lookups",
+        SqlPatternTrigger(r"SELECT\s+c_balance"),
+        StallEffect(delay=400.0, once=True),
+        kind=FailureKind.PERFORMANCE,
+        detectability=Detectability.SELF_EVIDENT,
+    )
+    server = DiverseServer(
+        [make_server("IB", [hang, stall]), make_server("OR"), make_server("MS")],
+        adjudication="majority",
+        policy=SupervisorPolicy(statement_deadline=50.0, checkpoint_interval=16),
+    )
+    runner = WorkloadRunner(server, seed=7, transaction_deadline=500.0)
+    runner.setup()
+    metrics = runner.run(count)
+    stats = server.stats
+    ib = server.replica("IB")
+    hangs = sum(1 for entry in server.timeout_audit if entry.kind == "hang")
+    stalls = sum(1 for entry in server.timeout_audit if entry.kind == "stall")
+    print(f"3v majority under hang storm (deadline=50): "
+          f"{metrics.transactions} transactions, "
+          f"{metrics.statements_per_second:.0f} stmt/s")
+    print(f"client-visible timeouts={metrics.timed_out_statements} "
+          f"deadline aborts={metrics.deadline_aborts} outages={metrics.outages}")
+    print(f"statement timeouts={stats.statement_timeouts} "
+          f"(audit: hangs={hangs} stalls={stalls}) "
+          f"recovery timeouts={stats.recovery_timeouts}")
+    print(f"statement retries={stats.statement_retries} "
+          f"(saved={stats.retries_saved})")
+    print(f"quarantines={stats.quarantines} recoveries={stats.recoveries} "
+          f"checkpoint replays={stats.checkpoint_replays} "
+          f"retirements={stats.retirements}")
+    print(f"IB final state: {ib.state.value} "
+          f"(timed out {ib.stats.timeouts} time(s))")
+    return 0
+
+
 def cmd_report(path: str) -> int:
     from repro.study.reporting import study_report_markdown
 
@@ -198,6 +263,9 @@ def main(argv: list[str]) -> int:
     if command == "crashstorm":
         count = int(argv[1]) if len(argv) > 1 else 120
         return cmd_crashstorm(count)
+    if command == "hangstorm":
+        count = int(argv[1]) if len(argv) > 1 else 120
+        return cmd_hangstorm(count)
     if command == "report":
         return cmd_report(argv[1] if len(argv) > 1 else "study_report.md")
     if command == "export":

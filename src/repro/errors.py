@@ -153,3 +153,17 @@ class AdjudicationFailure(MiddlewareError):
 
 class NoReplicasAvailable(MiddlewareError):
     """All replicas are failed or suspected; service is unavailable."""
+
+
+class StatementTimeout(MiddlewareError):
+    """No replica answered within the statement deadline budget.
+
+    The watchdog equivalent of :class:`NoReplicasAvailable`: every
+    active replica either hung or stalled past the configured deadline,
+    so the middleware has no within-budget answer to adjudicate on.  A
+    *self-evident* performance failure in the paper's taxonomy.
+    """
+
+    def __init__(self, message: str, *, deadline: float = 0.0) -> None:
+        super().__init__(message)
+        self.deadline = deadline

@@ -17,14 +17,17 @@ Public surface:
   :class:`~repro.sqlengine.engine.Engine`
 """
 
+from repro.faults.audit import TimeoutAuditEntry
 from repro.faults.effects import (
     BehaviourFlagEffect,
     CrashEffect,
     ErrorEffect,
+    HangEffect,
     PerformanceEffect,
     RowDropEffect,
     RowDuplicateEffect,
     RowcountSkewEffect,
+    StallEffect,
     ValueSkewEffect,
 )
 from repro.faults.injector import FaultInjector
@@ -46,6 +49,7 @@ __all__ = [
     "FailureKind",
     "FaultInjector",
     "FaultSpec",
+    "HangEffect",
     "PerformanceEffect",
     "RecoveryTrigger",
     "RelationTrigger",
@@ -53,6 +57,8 @@ __all__ = [
     "RowDuplicateEffect",
     "RowcountSkewEffect",
     "SqlPatternTrigger",
+    "StallEffect",
     "TagTrigger",
+    "TimeoutAuditEntry",
     "ValueSkewEffect",
 ]

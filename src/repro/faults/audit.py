@@ -1,4 +1,4 @@
-"""Fault-catalog auditing.
+"""Fault-catalog and timeout auditing.
 
 Cross-checks a server's seeded fault catalog against an executed study:
 which faults fired, on which bug scripts, with what classification —
@@ -6,14 +6,52 @@ and, crucially, which faults *never* fired (dead faults indicate a bug
 script or trigger drifting out of sync).  The corpus test-suite keeps
 the audit clean; downstream users extending the corpus get the same
 guard.
+
+Alongside the catalog audit lives the middleware's *timeout audit*: one
+:class:`TimeoutAuditEntry` per statement-deadline violation, so hung or
+stalled replicas excluded from adjudication leave a reviewable trail
+(which replica, which statement, how far over budget, and whether the
+violation happened in service or during recovery replay).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.dialects.features import SERVER_KEYS
-from repro.study.runner import StudyResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.study.runner import StudyResult
+
+
+@dataclass
+class TimeoutAuditEntry:
+    """One statement-deadline violation observed by the middleware.
+
+    ``virtual_cost`` is the offending answer's cost — infinite for a
+    hang (the replica never returned), finite for a stall.  ``at`` is
+    the supervisor's virtual-clock time, which makes audit trails
+    reproducible across runs.
+    """
+
+    replica: str
+    sql: str
+    virtual_cost: float
+    deadline: float
+    at: float
+    during_recovery: bool = False
+
+    @property
+    def kind(self) -> str:
+        """``hang`` (never returned) or ``stall`` (returned too late)."""
+        return "hang" if math.isinf(self.virtual_cost) else "stall"
+
+    @property
+    def overrun(self) -> float:
+        """Virtual cost past the deadline (inf for hangs)."""
+        return self.virtual_cost - self.deadline
 
 
 @dataclass

@@ -169,6 +169,52 @@ class PerformanceEffect(Effect):
         return result
 
 
+class HangEffect(Effect):
+    """The replica never returns: the *hang* flavour of a performance
+    failure (the paper's self-evident "server too slow to respond"
+    class taken to its limit).
+
+    In the virtual-cost world a hang is an answer of infinite cost: no
+    finite statement deadline is ever met, so the middleware's watchdog
+    is the only component that can represent it.  Without a deadline the
+    answer still exists (the simulation stays synchronous) but any
+    cost-based check sees an unbounded straggler.
+    """
+
+    def __init__(self, detail: str = "query never returns") -> None:
+        self.detail = detail
+
+    def apply_after(self, ctx, result):
+        result.virtual_cost = float("inf")
+        return result
+
+
+class StallEffect(Effect):
+    """Return only after a long virtual-cost delay: a *stall*.
+
+    Unlike :class:`PerformanceEffect` (multiplicative slow-down), a
+    stall adds a fixed ``delay`` of virtual cost — the replica blocks on
+    something (lock queue, I/O storm) and then answers correctly.  With
+    ``once=True`` the stall is transient: it fires on the first
+    triggered statement only, so a deadline-driven statement retry can
+    save the replica (the Heisenbug analogue for performance faults).
+    """
+
+    def __init__(self, delay: float = 1000.0, *, once: bool = False) -> None:
+        if delay <= 0:
+            raise ValueError("a stall must add positive virtual cost")
+        self.delay = delay
+        self.once = once
+        self._fired = False
+
+    def apply_after(self, ctx, result):
+        if self.once and self._fired:
+            return result
+        self._fired = True
+        result.virtual_cost += self.delay
+        return result
+
+
 class RowcountSkewEffect(Effect):
     """Report a wrong rowcount while returning correct rows.
 

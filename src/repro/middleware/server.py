@@ -31,6 +31,23 @@ active set shrinks.  With ``auto_recover=False`` the middleware only
 marks replicas FAILED/SUSPECTED and leaves recovery to explicit
 :meth:`DiverseServer.recover` calls (the original fire-once behaviour).
 
+Statement deadlines (the watchdog layer)
+----------------------------------------
+
+The paper counts *performance* failures — servers hanging or answering
+far too slowly — as self-evident, but a replica that never returns has
+no representation in a purely answer-driven middleware.  With
+``SupervisorPolicy.statement_deadline`` set, every replica answer is
+checked against a per-statement budget in virtual-cost units: answers
+over budget are excluded from adjudication (the remaining responders
+vote among themselves — straggler-tolerant adjudication), the event is
+recorded in :attr:`MiddlewareStats.statement_timeouts` and the
+:attr:`DiverseServer.timeout_audit` trail, and the straggler is
+quarantined and recovered exactly like a crashed replica.  Reads get
+one deadline retry (a transient stall is spared eviction); a write is
+never re-run — its slow attempt already applied, and the checkpointed
+replay path rebuilds the replica consistently instead.
+
 Recovery is log-based: the middleware keeps the history of committed
 write statements, and a suspected/crashed replica is rebuilt by
 restoring its latest checkpoint (if any) and replaying the write-log
@@ -50,7 +67,9 @@ from repro.errors import (
     MiddlewareError,
     NoReplicasAvailable,
     SqlError,
+    StatementTimeout,
 )
+from repro.faults.audit import TimeoutAuditEntry
 from repro.middleware.comparator import ReplicaAnswer, ResultComparator
 from repro.middleware.supervisor import (
     ReplicaHealth,
@@ -93,6 +112,7 @@ class ReplicaStats:
     crashes: int = 0
     outvoted: int = 0
     recoveries: int = 0
+    timeouts: int = 0
 
 
 @dataclass
@@ -146,15 +166,23 @@ class MiddlewareStats:
     #: Degraded statements served with no cross-checking at all (one
     #: active replica under a comparison policy): full quorum loss.
     quorum_losses: int = 0
+    # -- watchdog counters ----------------------------------------------
+    #: Replica answers excluded for blowing the statement deadline —
+    #: self-evident performance failures (hangs and stalls).
+    statement_timeouts: int = 0
+    #: Recovery attempts failed because a replayed statement blew the
+    #: recovery deadline (a replica stalling *during* recovery).
+    recovery_timeouts: int = 0
 
     @property
     def detection_events(self) -> int:
         """Everything the redundancy surfaced: disagreements, crashes,
-        and performance anomalies."""
+        performance anomalies, and statement timeouts."""
         return (
             self.disagreements_detected
             + self.replica_crashes
             + self.performance_anomalies
+            + self.statement_timeouts
         )
 
 
@@ -202,6 +230,9 @@ class DiverseServer:
         self._read_cursor = 0
         #: (sql, group leaders) pairs recorded in ``monitor`` mode.
         self.disagreement_log: list[tuple[str, list[str]]] = []
+        #: One entry per statement-deadline violation (service and
+        #: recovery), alongside the fault audit.
+        self.timeout_audit: list[TimeoutAuditEntry] = []
 
     @property
     def supervised(self) -> bool:
@@ -215,6 +246,11 @@ class DiverseServer:
     @property
     def clock(self) -> VirtualClock:
         return self.supervisor.clock
+
+    @property
+    def statement_deadline(self) -> Optional[float]:
+        """The per-statement deadline budget (virtual-cost units)."""
+        return self.supervisor.policy.statement_deadline
 
     # -- replica management -----------------------------------------------
 
@@ -294,23 +330,56 @@ class DiverseServer:
             order = active  # primary answers; no read rotation
         else:
             order = self._rotate(active)
+        deadline = self.statement_deadline
         crashed: list[Replica] = []
+        timed_out: list[Replica] = []
+        #: Replicas that already saw this statement (asked directly, or
+        #: quarantined with it pending — recovery replays it for them).
+        handled: set[str] = set()
         for replica in order:
             answer = self._ask_with_crash_retry(replica, sql)
+            handled.add(replica.key)
             if answer.status == "crash":
                 crashed.append(replica)
                 self._handle_crash(replica)
                 continue
+            if (
+                deadline is not None
+                and answer.status == "ok"
+                and answer.virtual_cost > deadline
+            ):
+                retry = self._retry_within_deadline(replica, sql, is_write, deadline)
+                if retry is None:
+                    timed_out.append(replica)
+                    self._handle_timeout(replica, sql, answer.virtual_cost, deadline)
+                    continue
+                answer = retry
             if answer.status == "error":
                 raise SqlError(answer.error)
             if is_write and policy == "primary":
                 # Propagate the write to the other replicas unchecked.
                 for other in active:
-                    if other is not replica:
-                        other_answer = self._ask(other, sql)
-                        if other_answer.status == "crash":
-                            self._handle_crash(other)
+                    if other.key in handled:
+                        continue
+                    other_answer = self._ask(other, sql)
+                    if other_answer.status == "crash":
+                        self._handle_crash(other)
+                    elif (
+                        deadline is not None
+                        and other_answer.status == "ok"
+                        and other_answer.virtual_cost > deadline
+                    ):
+                        self._handle_timeout(
+                            other, sql, other_answer.virtual_cost, deadline
+                        )
             return answer.result
+        if timed_out:
+            keys = ", ".join(replica.key for replica in timed_out)
+            raise StatementTimeout(
+                f"no replica answered {sql!r} within the deadline "
+                f"(timed out: {keys})",
+                deadline=deadline or 0.0,
+            )
         keys = ", ".join(replica.key for replica in crashed)
         raise NoReplicasAvailable(f"all replicas crashed on this statement ({keys})")
 
@@ -333,7 +402,15 @@ class DiverseServer:
                 answers.append(answer)
         for replica in crashed:
             self._handle_crash(replica)
+        answers, timed_out = self._enforce_deadline(sql, answers, is_write)
         if not answers:
+            if timed_out:
+                keys = ", ".join(answer.replica for answer in timed_out)
+                raise StatementTimeout(
+                    f"no replica answered {sql!r} within the deadline "
+                    f"(timed out: {keys})",
+                    deadline=self.statement_deadline or 0.0,
+                )
             keys = ", ".join(replica.key for replica in crashed)
             raise NoReplicasAvailable(f"all replicas crashed on this statement ({keys})")
 
@@ -378,11 +455,84 @@ class DiverseServer:
     #: A replica answering this many times slower than the fastest peer
     #: is flagged as a performance anomaly (self-evident failure class).
     PERFORMANCE_RATIO = 100.0
+    #: Floor for the fastest peer's cost in the ratio check.  Guards
+    #: against division-free blow-ups on zero cost without clamping to
+    #: 1.0, which used to mask genuine stragglers whenever every
+    #: virtual cost was sub-unit.
+    PERFORMANCE_EPSILON = 1e-9
 
     def _check_performance(self, answers: list[ReplicaAnswer]) -> None:
         costs = [answer.virtual_cost for answer in answers if answer.status == "ok"]
-        if len(costs) >= 2 and max(costs) > self.PERFORMANCE_RATIO * max(min(costs), 1.0):
+        if len(costs) >= 2 and max(costs) > self.PERFORMANCE_RATIO * max(
+            min(costs), self.PERFORMANCE_EPSILON
+        ):
             self.stats.performance_anomalies += 1
+
+    # -- statement watchdog ----------------------------------------------------
+
+    def _enforce_deadline(
+        self, sql: str, answers: list[ReplicaAnswer], is_write: bool
+    ) -> tuple[list[ReplicaAnswer], list[ReplicaAnswer]]:
+        """Split answers into within-deadline responders and timed-out
+        stragglers.  Stragglers are audited and quarantined; responders
+        adjudicate among themselves (straggler tolerance).  With no
+        deadline configured every answer is a responder."""
+        deadline = self.statement_deadline
+        if deadline is None:
+            return answers, []
+        responders: list[ReplicaAnswer] = []
+        timed_out: list[ReplicaAnswer] = []
+        for answer in answers:
+            if answer.status != "ok" or answer.virtual_cost <= deadline:
+                responders.append(answer)
+                continue
+            replica = self.replica(answer.replica)
+            retry = self._retry_within_deadline(replica, sql, is_write, deadline)
+            if retry is not None:
+                responders.append(retry)
+                continue
+            timed_out.append(answer)
+            self._handle_timeout(replica, sql, answer.virtual_cost, deadline)
+        return responders, timed_out
+
+    def _retry_within_deadline(
+        self, replica: Replica, sql: str, is_write: bool, deadline: float
+    ) -> Optional[ReplicaAnswer]:
+        """Re-run a read once on a straggler; a transient stall clears
+        on retry and the replica is spared quarantine.  Writes are never
+        re-run: the slow attempt already applied them."""
+        if is_write or not self._statement_retry_enabled():
+            return None
+        replica.state = ReplicaState.SUSPECTED
+        self.stats.statement_retries += 1
+        retry = self._ask(replica, sql)
+        if retry.status == "ok" and retry.virtual_cost <= deadline:
+            replica.state = ReplicaState.ACTIVE
+            self.stats.retries_saved += 1
+            return retry
+        return None
+
+    def _handle_timeout(
+        self, replica: Replica, sql: str, cost: float, deadline: float
+    ) -> None:
+        """Record a deadline violation (a self-evident performance
+        failure) and hand the straggler to the supervisor like a crash:
+        repeated timeouts drive ACTIVE → SUSPECTED → QUARANTINED."""
+        self.stats.statement_timeouts += 1
+        replica.stats.timeouts += 1
+        self.timeout_audit.append(
+            TimeoutAuditEntry(
+                replica=replica.key,
+                sql=sql,
+                virtual_cost=cost,
+                deadline=deadline,
+                at=self.clock.now,
+            )
+        )
+        if self.supervised:
+            self.supervisor.quarantine(replica)
+        else:
+            replica.state = ReplicaState.FAILED
 
     # -- plumbing --------------------------------------------------------------------
 

@@ -17,7 +17,13 @@ replication middleware has:
   cost is bounded by writes-since-checkpoint, not the full history;
 * **graceful degradation**: a configurable adjudication fallback chain
   (majority → compare → primary) with quorum-loss accounting when the
-  active replica set drops below what the configured policy needs.
+  active replica set drops below what the configured policy needs;
+* a statement **watchdog**: per-statement deadline budgets in
+  virtual-cost units (``statement_deadline``) so hung or stalled
+  replicas are excluded, audited, and quarantined, plus a replay
+  deadline (``recovery_deadline``) so a replica that stalls *during*
+  recovery fails the attempt — and eventually the circuit breaker —
+  instead of wedging the recovery loop.
 
 Everything is deterministic: time is the virtual clock, which advances
 one unit per statement executed through the middleware, so backoff
@@ -32,11 +38,23 @@ from enum import Enum
 from typing import TYPE_CHECKING, Optional
 
 from repro.dialects.translator import translate_script
-from repro.errors import EngineCrash, SqlError
+from repro.errors import EngineCrash, ReproError, SqlError
+from repro.faults.audit import TimeoutAuditEntry
 from repro.sqlengine.engine import EngineSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.middleware.server import DiverseServer, Replica
+
+
+class RecoveryStalled(ReproError):
+    """A replayed statement blew the recovery deadline.
+
+    Raised inside :meth:`ReplicaSupervisor._replay` and caught by
+    :meth:`ReplicaSupervisor.attempt_recovery`: the attempt fails like a
+    recovery crash, so stalls during replay feed the same backoff and
+    circuit-breaker machinery instead of letting a hung replay wedge the
+    recovery loop forever.
+    """
 
 
 class ReplicaState(Enum):
@@ -120,12 +138,31 @@ class SupervisorPolicy:
     #: Adjudication fallback order when active replicas drop below the
     #: configured policy's quorum (see :data:`POLICY_QUORUM`).
     degradation_chain: tuple = ("majority", "compare", "primary")
+    #: Per-statement deadline budget in virtual-cost units.  A replica
+    #: whose answer costs more is treated as timed out: its answer is
+    #: excluded from adjudication, the event is audited as a
+    #: self-evident performance failure, and the replica is quarantined
+    #: exactly like a crash.  ``None`` disables the watchdog (a hung
+    #: replica is then invisible until it answers, if ever).
+    statement_deadline: Optional[float] = None
+    #: Per-statement deadline while *replaying* the write log during
+    #: recovery; a replayed statement costing more fails the recovery
+    #: attempt (backoff, then circuit breaker).  ``None`` falls back to
+    #: ``statement_deadline``.
+    recovery_deadline: Optional[float] = None
 
     def backoff_delay(self, attempt: int) -> float:
         """Delay before retry ``attempt`` (attempt 0 is immediate)."""
         if attempt <= 0:
             return 0.0
         return min(self.backoff_base * self.backoff_factor ** (attempt - 1), self.backoff_cap)
+
+    @property
+    def effective_recovery_deadline(self) -> Optional[float]:
+        """The replay-time deadline: explicit, or the statement one."""
+        if self.recovery_deadline is not None:
+            return self.recovery_deadline
+        return self.statement_deadline
 
 
 @dataclass
@@ -255,7 +292,7 @@ class ReplicaSupervisor:
         health = replica.health
         try:
             replayed = self._replay(replica)
-        except EngineCrash:
+        except (EngineCrash, RecoveryStalled):
             self._recovery_failed(replica, manual=manual)
             return False
         replica.state = ReplicaState.ACTIVE
@@ -330,15 +367,37 @@ class ReplicaSupervisor:
             tail = tail + [pending]
         engine = product.engine
         engine.phase = "recover"
+        deadline = self.policy.effective_recovery_deadline
         try:
             for sql in tail:
                 try:
-                    product.execute(translate_script(sql, product.descriptor))
+                    result = product.execute(translate_script(sql, product.descriptor))
                 except SqlError:
                     continue  # statements that legitimately error replay as errors
+                if deadline is not None and result.virtual_cost > deadline:
+                    self._record_recovery_timeout(replica, sql, result.virtual_cost, deadline)
+                    raise RecoveryStalled(
+                        f"replica {replica.key} stalled replaying {sql!r} "
+                        f"(cost {result.virtual_cost} > deadline {deadline})"
+                    )
         finally:
             engine.phase = "serve"
         return len(tail)
+
+    def _record_recovery_timeout(
+        self, replica: "Replica", sql: str, cost: float, deadline: float
+    ) -> None:
+        self.stats.recovery_timeouts += 1
+        self._server.timeout_audit.append(
+            TimeoutAuditEntry(
+                replica=replica.key,
+                sql=sql,
+                virtual_cost=cost,
+                deadline=deadline,
+                at=self.clock.now,
+                during_recovery=True,
+            )
+        )
 
     def _recovery_failed(self, replica: "Replica", *, manual: bool) -> None:
         health = replica.health

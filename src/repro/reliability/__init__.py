@@ -10,6 +10,7 @@ the failure process of 1-version vs diverse N-version configurations.
 from repro.reliability.availability import (
     QuarantinePolicyModel,
     ReplicaAvailability,
+    TimeoutPolicyModel,
     service_availability,
 )
 from repro.reliability.model import (
@@ -30,6 +31,7 @@ __all__ = [
     "ReliabilityModel",
     "ReplicaAvailability",
     "SimulationOutcome",
+    "TimeoutPolicyModel",
     "UsageProfile",
     "pair_gains_from_study",
     "profile_sensitivity",

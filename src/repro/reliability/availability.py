@@ -180,3 +180,99 @@ class QuarantinePolicyModel:
             failure_rate=failure_rate,
             repair_rate=1.0 / self.expected_repair_time(),
         )
+
+
+@dataclass(frozen=True)
+class TimeoutPolicyModel:
+    """Deadline-based timeout detection: the false-positive trade-off.
+
+    The middleware's watchdog declares any statement whose virtual cost
+    exceeds ``deadline`` a performance failure.  That is the only
+    detector that can represent a *hang* (a replica that never answers),
+    but it cuts both ways: healthy statements have a cost distribution
+    with a tail, and every healthy statement past the deadline is a
+    false positive that quarantines a good replica.  This model prices
+    that trade-off — the timeout-detection analogue of
+    :class:`QuarantinePolicyModel` — so a deployment can pick a deadline
+    instead of guessing one.
+
+    Healthy statement costs are modelled log-normal with median
+    ``cost_median`` and shape ``cost_sigma`` (Adams-style heavy tails);
+    a *stall* adds ``stall_delay`` virtual-cost units on top of the
+    healthy cost; a *hang* costs infinitely much.
+    """
+
+    #: Statement deadline budget in virtual-cost units.
+    deadline: float
+    #: Median virtual cost of a healthy statement.
+    cost_median: float = 1.0
+    #: Log-normal sigma of healthy statement cost (0 = deterministic).
+    cost_sigma: float = 0.5
+    #: Extra virtual cost a stall fault adds to the healthy cost.
+    stall_delay: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ValueError("the deadline must be positive")
+        if self.cost_median <= 0:
+            raise ValueError("the median statement cost must be positive")
+        if self.cost_sigma < 0 or self.stall_delay < 0:
+            raise ValueError("sigma and stall delay must be non-negative")
+
+    def _exceed_probability(self, threshold: float) -> float:
+        """P(healthy statement cost > threshold) under the log-normal."""
+        if threshold <= 0:
+            return 1.0
+        if self.cost_sigma == 0:
+            return 1.0 if self.cost_median > threshold else 0.0
+        z = (math.log(threshold) - math.log(self.cost_median)) / self.cost_sigma
+        return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+    @property
+    def false_positive_rate(self) -> float:
+        """P(a healthy statement blows the deadline) — each such event
+        needlessly quarantines a good replica."""
+        return self._exceed_probability(self.deadline)
+
+    @property
+    def hang_detection_probability(self) -> float:
+        """A hang's infinite cost always exceeds a finite deadline."""
+        return 1.0
+
+    @property
+    def stall_detection_probability(self) -> float:
+        """P(a stalled statement blows the deadline): the stall adds
+        ``stall_delay`` to the healthy cost, so detection fails only
+        when the deadline exceeds the stall by more than the healthy
+        cost covers."""
+        return self._exceed_probability(self.deadline - self.stall_delay)
+
+    @property
+    def detection_latency(self) -> float:
+        """Virtual cost spent before a hang is declared: the watchdog
+        must wait out the whole deadline budget (the cost-ratio check,
+        by contrast, needs an answer it will never get)."""
+        return self.deadline
+
+    def spurious_failure_rate(self, statement_rate: float) -> float:
+        """Extra quarantine incidents per unit time caused by false
+        positives at ``statement_rate`` statements per unit time."""
+        if statement_rate < 0:
+            raise ValueError("the statement rate must be non-negative")
+        return statement_rate * self.false_positive_rate
+
+    def effective_replica(
+        self,
+        failure_rate: float,
+        repair: "QuarantinePolicyModel",
+        *,
+        statement_rate: float = 1.0,
+    ) -> ReplicaAvailability:
+        """The watchdog-supervised replica as an alternating-renewal
+        process: false positives inflate the failure rate, and each
+        (true or spurious) incident repairs at the quarantine model's
+        backoff-aware MTTR."""
+        return ReplicaAvailability(
+            failure_rate=failure_rate + self.spurious_failure_rate(statement_rate),
+            repair_rate=1.0 / repair.expected_repair_time(),
+        )

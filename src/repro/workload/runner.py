@@ -13,6 +13,7 @@ from repro.errors import (
     NoReplicasAvailable,
     ReproError,
     SqlError,
+    StatementTimeout,
 )
 from repro.workload.generator import TpccGenerator, Transaction
 from repro.workload.schema import SCHEMA_STATEMENTS, populate_statements
@@ -34,9 +35,20 @@ class WorkloadMetrics:
     detected_disagreements: int = 0
     crashes: int = 0
     outages: int = 0
+    #: Distinct transactions that aborted at least once (never exceeds
+    #: ``transactions``; a transaction burning N retries counts once).
     aborted_transactions: int = 0
+    #: Aborted *attempts*, one per rollback — the per-retry count
+    #: ``aborted_transactions`` used to (mis)report.
+    aborted_attempts: int = 0
     retried_successes: int = 0
     exhausted_retries: int = 0
+    #: Attempts aborted by the deadline: the transaction's virtual-cost
+    #: budget ran out, or the endpoint raised ``StatementTimeout``.
+    deadline_aborts: int = 0
+    #: Statements that observed a timeout (endpoint-raised, or the
+    #: statement whose cost exhausted the transaction budget).
+    timed_out_statements: int = 0
     elapsed_seconds: float = 0.0
     per_profile: dict[str, int] = field(default_factory=dict)
 
@@ -53,6 +65,7 @@ class WorkloadMetrics:
             and self.detected_disagreements == 0
             and self.crashes == 0
             and self.outages == 0
+            and self.timed_out_statements == 0
         )
 
 
@@ -63,12 +76,31 @@ class WorkloadRunner:
     paper contrasts diversity with (Section 2.1): an aborted transaction
     is re-submitted up to that many times.  Retry tolerates *transient*
     failures (Heisenbugs); deterministic Bohrbugs fail every attempt.
+
+    ``transaction_deadline`` is a client-side watchdog: a virtual-cost
+    budget per transaction attempt.  An attempt whose statements'
+    cumulative cost exceeds it — or that hits a middleware
+    ``StatementTimeout`` — is aborted (rolled back) and retried under
+    the same ``retries`` policy, with the events counted in
+    ``deadline_aborts`` / ``timed_out_statements``.  This is how a
+    client notices a *hang* the endpoint cannot mask: the statement
+    stream stops making progress within budget.
     """
 
-    def __init__(self, endpoint: SqlEndpoint, *, seed: int = 0, retries: int = 0) -> None:
+    def __init__(
+        self,
+        endpoint: SqlEndpoint,
+        *,
+        seed: int = 0,
+        retries: int = 0,
+        transaction_deadline: Optional[float] = None,
+    ) -> None:
+        if transaction_deadline is not None and transaction_deadline <= 0:
+            raise ValueError("the transaction deadline must be positive")
         self.endpoint = endpoint
         self.seed = seed
         self.retries = retries
+        self.transaction_deadline = transaction_deadline
 
     def setup(self) -> None:
         """Create and populate the schema."""
@@ -102,24 +134,35 @@ class WorkloadRunner:
         return metrics
 
     def _run_transaction(self, transaction: Transaction, metrics: WorkloadMetrics) -> None:
+        aborted = False
         for attempt in range(self.retries + 1):
             if self._attempt(transaction, metrics):
                 if attempt > 0:
                     metrics.retried_successes += 1
                 return
+            if not aborted:
+                aborted = True
+                metrics.aborted_transactions += 1
         metrics.exhausted_retries += 1
 
     def _attempt(self, transaction: Transaction, metrics: WorkloadMetrics) -> bool:
         in_transaction = False
+        budget = self.transaction_deadline
+        spent = 0.0
         for statement in transaction.statements:
             upper = statement.strip().upper()
             try:
-                self.endpoint.execute(statement)
+                result = self.endpoint.execute(statement)
                 metrics.statements += 1
                 if upper == "BEGIN":
                     in_transaction = True
                 elif upper in ("COMMIT", "ROLLBACK"):
                     in_transaction = False
+            except StatementTimeout:
+                metrics.timed_out_statements += 1
+                metrics.deadline_aborts += 1
+                self._abort(metrics, in_transaction)
+                return False
             except AdjudicationFailure:
                 metrics.detected_disagreements += 1
                 self._abort(metrics, in_transaction)
@@ -136,10 +179,17 @@ class WorkloadRunner:
                 metrics.sql_errors += 1
                 self._abort(metrics, in_transaction)
                 return False
+            if budget is not None:
+                spent += getattr(result, "virtual_cost", 0.0)
+                if spent > budget:
+                    metrics.timed_out_statements += 1
+                    metrics.deadline_aborts += 1
+                    self._abort(metrics, in_transaction)
+                    return False
         return True
 
     def _abort(self, metrics: WorkloadMetrics, in_transaction: bool) -> None:
-        metrics.aborted_transactions += 1
+        metrics.aborted_attempts += 1
         if in_transaction:
             try:
                 self.endpoint.execute("ROLLBACK")

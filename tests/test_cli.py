@@ -24,6 +24,14 @@ class TestCli:
         assert "quarantines=" in output
         assert "client-visible crashes=0 outages=0" in output
 
+    def test_hangstorm_command(self, capsys):
+        assert main(["hangstorm", "30"]) == 0
+        output = capsys.readouterr().out
+        assert "hang storm" in output
+        assert "statement timeouts=" in output
+        assert "client-visible timeouts=0" in output
+        assert "IB final state: active" in output
+
     def test_unknown_command_prints_usage(self, capsys):
         assert main(["bogus"]) == 2
         assert "Commands" in capsys.readouterr().out
