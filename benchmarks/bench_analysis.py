@@ -1,0 +1,162 @@
+"""Experiment A4 — what the static analyzer buys the middleware.
+
+Three measurements:
+
+* **Multiset voting vs benign reorder** — a 3-version majority
+  configuration whose IB replica returns correct rows in a different
+  physical order (a legal behaviour for unordered queries, not a bug).
+  With the analyzer on, every unordered SELECT is voted as a row
+  multiset: zero false disagreements, no ORDER BY probe added to the
+  workload.  The ablation (``static_analysis=False``) compares ordered
+  and mis-classifies every reordered answer as a disagreement.
+* **Idempotence-gated write retry** — a replica with one transient
+  stall on a re-execution-safe UPDATE.  The analyzer's verdict lets the
+  watchdog retry the write instead of quarantining the replica and
+  replaying its log.
+* **Analyzer throughput** — statements per second for full verdict
+  extraction over the whole 181-script corpus (the lint's unit of
+  work), to show the static pass is cheap enough to sit on the
+  middleware's hot path.
+
+Run standalone for CI smoke coverage::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py --smoke
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis import ScriptSchema, analyze_statement  # noqa: E402
+from repro.bugs import build_corpus  # noqa: E402
+from repro.faults import (  # noqa: E402
+    FaultSpec,
+    RelationTrigger,
+    ScanOrderEffect,
+    SqlPatternTrigger,
+    StallEffect,
+)
+from repro.middleware import DiverseServer, SupervisorPolicy  # noqa: E402
+from repro.servers import make_server  # noqa: E402
+from repro.sqlengine.parser import parse_statement  # noqa: E402
+from repro.study.runner import split_statements  # noqa: E402
+
+QUERIES = 40
+
+
+def reorder_fault():
+    return FaultSpec(
+        "A4-SCANORDER",
+        "returns rows of ledger scans in reverse physical order",
+        RelationTrigger(["ledger"], kind="select"),
+        ScanOrderEffect(),
+    )
+
+
+def make_diverse(static_analysis, faults, policy=None):
+    server = DiverseServer(
+        [make_server("IB", faults), make_server("OR"), make_server("MS")],
+        adjudication="monitor",
+        static_analysis=static_analysis,
+        policy=policy,
+    )
+    server.execute(
+        "CREATE TABLE ledger (id INTEGER PRIMARY KEY, amount NUMERIC(10,2), "
+        "tag VARCHAR(10))"
+    )
+    for index in range(8):
+        server.execute(
+            f"INSERT INTO ledger (id, amount, tag) VALUES "
+            f"({index}, {index * 10}.50, 't{index % 3}')"
+        )
+    return server
+
+
+def run_reorder(static_analysis, queries):
+    server = make_diverse(static_analysis, [reorder_fault()])
+    for _ in range(queries):
+        server.execute("SELECT id, amount FROM ledger WHERE amount > 5")
+    return server.stats
+
+
+def run_write_retry(static_analysis):
+    stall = FaultSpec(
+        "A4-STALL",
+        "one transient stall on a safe UPDATE",
+        SqlPatternTrigger(r"SET tag = 'hot'"),
+        StallEffect(delay=400.0, once=True),
+    )
+    server = make_diverse(
+        static_analysis, [stall], policy=SupervisorPolicy(statement_deadline=50.0)
+    )
+    server.execute("UPDATE ledger SET tag = 'hot' WHERE id = 1")
+    return server.stats
+
+
+def run_throughput(corpus):
+    statements = [
+        parse_statement(sql)
+        for report in corpus
+        for sql in split_statements(report.script)
+    ]
+    start = time.perf_counter()
+    schema = ScriptSchema()
+    for stmt in statements:
+        analyze_statement(stmt, schema)
+        schema.observe(stmt)
+    elapsed = time.perf_counter() - start
+    return len(statements), elapsed
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast run with assertions (CI gate)")
+    args = parser.parse_args(argv)
+    queries = 10 if args.smoke else QUERIES
+
+    print("=== A4a: benign scan reorder on unordered SELECTs ===")
+    print(f"{'config':<22} {'false disagreements':>20} {'multiset votes':>15}")
+    rows = []
+    for label, on in [("analyzer on", True), ("ablation (ordered)", False)]:
+        stats = run_reorder(on, queries)
+        rows.append((label, stats))
+        print(f"{label:<22} {stats.disagreements_detected:>20} "
+              f"{stats.multiset_comparisons:>15}")
+    analyzed, ablated = rows[0][1], rows[1][1]
+
+    print("\n=== A4b: transient stall on a re-execution-safe UPDATE ===")
+    print(f"{'config':<22} {'write retries':>14} {'saved':>6} {'quarantines':>12}")
+    retry_rows = []
+    for label, on in [("analyzer on", True), ("ablation (blanket)", False)]:
+        stats = run_write_retry(on)
+        retry_rows.append((label, stats))
+        print(f"{label:<22} {stats.idempotent_write_retries:>14} "
+              f"{stats.retries_saved:>6} {stats.quarantines:>12}")
+
+    corpus = build_corpus()
+    count, elapsed = run_throughput(corpus)
+    print("\n=== A4c: analyzer throughput ===")
+    print(f"{count} corpus statements analyzed in {elapsed * 1000:.0f} ms "
+          f"({count / elapsed:.0f} stmt/s)")
+
+    if args.smoke:
+        assert analyzed.disagreements_detected == 0, "false divergence with analyzer on"
+        assert analyzed.multiset_comparisons == queries
+        assert ablated.disagreements_detected == queries, "ablation must expose the hazard"
+        assert retry_rows[0][1].idempotent_write_retries == 1
+        assert retry_rows[0][1].retries_saved == 1
+        assert retry_rows[0][1].quarantines == 0
+        assert retry_rows[1][1].idempotent_write_retries == 0
+        assert retry_rows[1][1].quarantines == 1
+        print("smoke assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,7 +51,7 @@ def test_bench_voting_hazard(benchmark, corpus):
     print("\n=== M2: identical wrong answers out-vote the healthy replica ===")
     print(f"{'bug':<12} {'affected pair':<14} {'healthy replica out-voted':>26}")
     hazards = 0
-    for bug_id, (masked, suspected) in results.items():
+    for bug_id, (_masked, suspected) in results.items():
         pair = "+".join(ND_CASES[bug_id][0])
         print(f"{bug_id:<12} {pair:<14} {str(suspected):>26}")
         hazards += int(suspected)

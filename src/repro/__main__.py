@@ -27,6 +27,10 @@ Commands
 ``export [PATH]``
     Export the corpus (scripts + ground truth) as JSON
     (default: corpus.json).
+``lint``
+    Statically lint the corpus and fault catalogs: portability
+    predictions vs ground truth, translator agreement, and fault-trigger
+    reachability.  Exit status 1 when any finding is reported (CI gate).
 """
 
 from __future__ import annotations
@@ -242,6 +246,12 @@ def cmd_report(path: str) -> int:
     return 0
 
 
+def cmd_lint() -> int:
+    from repro.analysis import run_lint
+
+    return run_lint(build_corpus())
+
+
 def cmd_export(path: str) -> int:
     from repro.bugs.serialize import corpus_to_json
 
@@ -270,6 +280,8 @@ def main(argv: list[str]) -> int:
         return cmd_report(argv[1] if len(argv) > 1 else "study_report.md")
     if command == "export":
         return cmd_export(argv[1] if len(argv) > 1 else "corpus.json")
+    if command == "lint":
+        return cmd_lint()
     print(__doc__)
     return 2
 

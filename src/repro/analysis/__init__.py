@@ -1,0 +1,70 @@
+"""Static SQL semantic analysis: per-statement verdicts without execution.
+
+Four verdict families, four consumers:
+
+* **Order determinism** (:class:`OrderVerdict`) — is the result row
+  order stable across correct products?  Consumed by the middleware
+  comparator, which votes on row *multisets* for statically-unordered
+  SELECTs instead of manufacturing false divergences.
+* **Read/write sets + re-execution safety** (:class:`AccessVerdict`) —
+  which relations a statement reads vs mutates, and whether re-running
+  it reproduces both the state and the answer.  Consumed by the
+  supervisor's retry gate, generalising "reads retry once, writes
+  never" to proof-carrying idempotence.
+* **Dialect portability** (:class:`PortabilityVerdict`) — each server's
+  can-run/cannot-run verdict predicted from traits alone.  Cross-checked
+  against the dynamic translator outcome by the lint.
+* **Fault reachability** (:func:`fault_reachability`) — which seeded
+  faults are statically reachable from the corpus scripts; the static
+  complement of the dynamic dead-fault audit, covering Heisenbugs too.
+
+``python -m repro lint`` (:func:`run_lint`) gates all of it in CI.
+"""
+
+from repro.analysis.lint import LintFinding, lint_corpus, run_lint
+from repro.analysis.portability import (
+    PortabilityVerdict,
+    predicted_hosts,
+    script_portability,
+    statement_portability,
+)
+from repro.analysis.reachability import (
+    StaticContext,
+    fault_reachability,
+    script_contexts,
+    server_contexts,
+    unreachable_faults,
+)
+from repro.analysis.schema import ScriptSchema, TableInfo, ViewInfo
+from repro.analysis.verdicts import (
+    VOLATILE_FUNCTIONS,
+    WRITE_KINDS,
+    AccessVerdict,
+    OrderVerdict,
+    StatementVerdict,
+    analyze_statement,
+)
+
+__all__ = [
+    "AccessVerdict",
+    "LintFinding",
+    "OrderVerdict",
+    "PortabilityVerdict",
+    "ScriptSchema",
+    "StatementVerdict",
+    "StaticContext",
+    "TableInfo",
+    "VOLATILE_FUNCTIONS",
+    "ViewInfo",
+    "WRITE_KINDS",
+    "analyze_statement",
+    "fault_reachability",
+    "lint_corpus",
+    "predicted_hosts",
+    "run_lint",
+    "script_contexts",
+    "script_portability",
+    "server_contexts",
+    "statement_portability",
+    "unreachable_faults",
+]

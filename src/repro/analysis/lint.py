@@ -1,0 +1,141 @@
+"""Corpus lint: the static analyzer turned into a CI gate.
+
+``python -m repro lint`` runs three whole-corpus consistency checks —
+each one a way the corpus, the dialect layer, and the fault catalogs
+can silently drift apart:
+
+``portability-drift``
+    The static per-server portability prediction
+    (:func:`repro.analysis.portability.predicted_hosts`) must equal the
+    report's ground truth ``runnable_on | translation_pending``.  A
+    mismatch means a script's features and its declared gate features
+    disagree.
+
+``translator-disagreement``
+    For every (report, foreign server) pair, the dynamic translation
+    outcome must match the static prediction, and the translator's
+    output must reparse and revalidate in the target dialect.  Catches
+    token-rewrite bugs the trait gate cannot see.
+
+``dead-fault``
+    Every seeded fault's trigger must be statically reachable from at
+    least one statement of a hosting script
+    (:func:`repro.analysis.reachability.unreachable_faults`) —
+    including Heisenbug faults the dynamic audit cannot judge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.analysis.portability import predicted_hosts
+from repro.analysis.reachability import unreachable_faults
+from repro.dialects.features import SERVER_KEYS
+from repro.dialects.translator import translation_verdict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bugs.corpus import Corpus
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One corpus-consistency violation."""
+
+    check: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.subject}: {self.detail}"
+
+
+def lint_corpus(corpus: "Corpus") -> list[LintFinding]:
+    """Run every check; an empty list means the corpus is consistent."""
+    findings: list[LintFinding] = []
+    findings.extend(_check_portability_drift(corpus))
+    findings.extend(_check_translator_agreement(corpus))
+    findings.extend(_check_dead_faults(corpus))
+    return findings
+
+
+def _check_portability_drift(corpus: "Corpus") -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    for report in corpus:
+        predicted = predicted_hosts(report.script)
+        expected = frozenset(report.runnable_on | report.translation_pending)
+        if predicted != expected:
+            findings.append(
+                LintFinding(
+                    check="portability-drift",
+                    subject=report.bug_id,
+                    detail=(
+                        f"static prediction {sorted(predicted)} != "
+                        f"ground truth {sorted(expected)}"
+                    ),
+                )
+            )
+    return findings
+
+
+def _check_translator_agreement(corpus: "Corpus") -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    for report in corpus:
+        predicted = predicted_hosts(report.script)
+        for server in SERVER_KEYS:
+            if server == report.reported_for:
+                continue
+            outcome = translation_verdict(report.script, server)
+            statically_hosted = server in predicted
+            if outcome.ok != statically_hosted:
+                findings.append(
+                    LintFinding(
+                        check="translator-disagreement",
+                        subject=f"{report.bug_id}->{server}",
+                        detail=(
+                            f"translator {'accepted' if outcome.ok else 'refused'} "
+                            f"but static prediction says "
+                            f"{'can run' if statically_hosted else 'cannot run'}"
+                            + (f" (missing {outcome.missing})" if outcome.missing else "")
+                        ),
+                    )
+                )
+            elif outcome.ok and not outcome.reparse_ok:
+                findings.append(
+                    LintFinding(
+                        check="translator-disagreement",
+                        subject=f"{report.bug_id}->{server}",
+                        detail="translated output fails to reparse/revalidate "
+                        "in the target dialect",
+                    )
+                )
+    return findings
+
+
+def _check_dead_faults(corpus: "Corpus") -> list[LintFinding]:
+    return [
+        LintFinding(
+            check="dead-fault",
+            subject=f"{server}:{fault.fault_id}",
+            detail=f"trigger unreachable from any hosting script "
+            f"({fault.description})",
+        )
+        for server, fault in unreachable_faults(corpus)
+    ]
+
+
+def run_lint(
+    corpus: "Corpus", emit: Callable[[str], None] = print
+) -> int:
+    """Run the lint, report findings, return a process exit code."""
+    findings = lint_corpus(corpus)
+    for finding in findings:
+        emit(str(finding))
+    if findings:
+        emit(f"lint: {len(findings)} finding(s)")
+        return 1
+    emit(
+        "lint: corpus clean (portability predictions, translator "
+        "agreement, fault reachability)"
+    )
+    return 0

@@ -1,0 +1,182 @@
+"""Static schema tracking for script-level analysis.
+
+The analyzer sees a script the way the middleware does: one statement at
+a time, in order.  :class:`ScriptSchema` accumulates the DDL facts the
+verdicts need — which relations are tables vs views, each table's
+columns and *unique keys* (primary key, UNIQUE columns/constraints,
+unique indexes), and each view's defining query — without executing
+anything.
+
+It also predicts the engine's *dynamic* trait tags: the executor adds
+``view.used`` / ``view.distinct_used`` only when a referenced relation
+turns out to be a view at run time (see
+:meth:`repro.sqlengine.engine.ExecutionContext.note_view_use`), which a
+purely per-statement trait extraction cannot know.  With the script's
+DDL in hand, the prediction is exact — and it is what makes fault
+triggers over dynamic tags statically evaluable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.analysis import StatementTraits
+
+
+@dataclass
+class TableInfo:
+    """Statically known facts about one base table."""
+
+    name: str
+    columns: list[str] = field(default_factory=list)
+    #: Column sets proven unique (PK, UNIQUE, unique indexes).  Order
+    #: follows declaration order; membership is what matters.
+    unique_keys: list[frozenset[str]] = field(default_factory=list)
+
+    def add_key(self, columns: frozenset[str]) -> None:
+        if columns and columns not in self.unique_keys:
+            self.unique_keys.append(columns)
+
+
+@dataclass
+class ViewInfo:
+    """Statically known facts about one view."""
+
+    name: str
+    query: ast.SelectStatement
+    column_names: Optional[list[str]] = None
+
+    @property
+    def has_distinct(self) -> bool:
+        """Mirror of :attr:`repro.sqlengine.catalog.ViewDef.has_distinct`:
+        True when any SELECT core of the body uses DISTINCT."""
+        return any(core.distinct for core in self.query.cores())
+
+    @property
+    def dedup(self) -> bool:
+        """True when the view body cannot yield duplicate rows: a
+        DISTINCT core, or a top-level deduplicating set operation."""
+        if isinstance(self.query.body, ast.SetOperation) and not self.query.body.all:
+            return True
+        return self.has_distinct
+
+    def output_width(self) -> Optional[int]:
+        """Number of output columns, when statically determinable."""
+        if self.column_names:
+            return len(self.column_names)
+        cores = self.query.cores()
+        if not cores:
+            return None
+        items = cores[0].items
+        if any(isinstance(item.expression, ast.Star) for item in items):
+            return None
+        return len(items)
+
+
+#: Statement kinds whose execution may expand a view (and therefore may
+#: pick up the runtime ``view.used`` / ``view.distinct_used`` tags).
+_VIEW_EXPANDING_KINDS = frozenset({"select", "insert", "update", "delete"})
+
+
+class ScriptSchema:
+    """Incrementally observed schema of one script (or session).
+
+    Call :meth:`observe` with each statement *after* it executes
+    successfully; query the accessors at any point to analyze the next
+    statement against the state it will actually run in.
+    """
+
+    def __init__(self) -> None:
+        self.tables: dict[str, TableInfo] = {}
+        self.views: dict[str, ViewInfo] = {}
+        #: unique index name -> (table, key columns), for DROP INDEX.
+        self._unique_indexes: dict[str, tuple[str, frozenset[str]]] = {}
+
+    # -- observation -------------------------------------------------------
+
+    def observe(self, stmt: ast.Statement) -> None:
+        """Fold one executed statement's DDL consequences in."""
+        if isinstance(stmt, ast.CreateTable):
+            self._observe_create_table(stmt)
+        elif isinstance(stmt, ast.CreateView):
+            self.views[stmt.name.lower()] = ViewInfo(
+                name=stmt.name.lower(),
+                query=stmt.query,
+                column_names=stmt.column_names,
+            )
+        elif isinstance(stmt, ast.CreateIndex):
+            if stmt.unique:
+                table = self.tables.get(stmt.table.lower())
+                key = frozenset(column.lower() for column in stmt.columns)
+                if table is not None:
+                    table.add_key(key)
+                self._unique_indexes[stmt.name.lower()] = (stmt.table.lower(), key)
+        elif isinstance(stmt, ast.DropTable):
+            self.tables.pop(stmt.name.lower(), None)
+            # Faulty products accept DROP TABLE on views (IB-223512);
+            # mirror the intent, not the bug: drop whichever it names.
+            self.views.pop(stmt.name.lower(), None)
+        elif isinstance(stmt, ast.DropView):
+            self.views.pop(stmt.name.lower(), None)
+        elif isinstance(stmt, ast.DropIndex):
+            entry = self._unique_indexes.pop(stmt.name.lower(), None)
+            if entry is not None:
+                table_name, key = entry
+                table = self.tables.get(table_name)
+                if table is not None and key in table.unique_keys:
+                    table.unique_keys.remove(key)
+        elif isinstance(stmt, ast.AlterTableAddColumn):
+            table = self.tables.get(stmt.table.lower())
+            if table is not None:
+                name = stmt.column.name.lower()
+                table.columns.append(name)
+                if stmt.column.primary_key or stmt.column.unique:
+                    table.add_key(frozenset({name}))
+
+    def _observe_create_table(self, stmt: ast.CreateTable) -> None:
+        info = TableInfo(
+            name=stmt.name.lower(),
+            columns=[column.name.lower() for column in stmt.columns],
+        )
+        for column in stmt.columns:
+            if column.primary_key or column.unique:
+                info.add_key(frozenset({column.name.lower()}))
+        for constraint in stmt.constraints:
+            if constraint.kind in ("PRIMARY KEY", "UNIQUE") and constraint.columns:
+                info.add_key(
+                    frozenset(column.lower() for column in constraint.columns)
+                )
+        self.tables[info.name] = info
+
+    # -- queries ------------------------------------------------------------
+
+    def table(self, name: str) -> Optional[TableInfo]:
+        return self.tables.get(name.lower())
+
+    def view(self, name: str) -> Optional[ViewInfo]:
+        return self.views.get(name.lower())
+
+    def unique_keys(self, relation: str) -> list[frozenset[str]]:
+        table = self.tables.get(relation.lower())
+        return list(table.unique_keys) if table is not None else []
+
+    def predicted_dynamic_tags(self, traits: StatementTraits) -> set[str]:
+        """The dynamic tags the engine would add for this statement.
+
+        Must be computed *before* :meth:`observe` — a CREATE VIEW's own
+        traits reference the view it is creating, which does not exist
+        yet and must not self-tag.
+        """
+        tags: set[str] = set()
+        if traits.kind not in _VIEW_EXPANDING_KINDS:
+            return tags
+        for relation in traits.relations:
+            view = self.views.get(relation)
+            if view is None:
+                continue
+            tags.add("view.used")
+            if view.has_distinct:
+                tags.add("view.distinct_used")
+        return tags

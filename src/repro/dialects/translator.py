@@ -15,7 +15,11 @@ normalises, but string literals and quoted identifiers survive exactly.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional
+
 from repro.dialects.features import DialectDescriptor, dialect
+from repro.errors import FeatureNotSupported, SqlError
 from repro.sqlengine.analysis import script_traits
 from repro.sqlengine.parser import parse_script
 from repro.sqlengine.tokens import Token, TokenKind
@@ -39,6 +43,49 @@ def translate_script(sql: str, target: str | DialectDescriptor) -> str:
     descriptor.validate(None, traits)
     tokens = tokenize(sql)
     return render_tokens(_rewrite(tokens, descriptor))
+
+
+@dataclass(frozen=True)
+class TranslationOutcome:
+    """The dynamic translation result, in a shape the static analyzer
+    can cross-check.
+
+    ``ok`` mirrors the study's can-run/cannot-run decision; ``missing``
+    carries the gate feature that refused translation; ``reparse_ok``
+    reports whether the translated text parses *and* revalidates in the
+    target dialect — the self-check that catches token-rewrite bugs the
+    trait gate cannot see.
+    """
+
+    target: str
+    ok: bool
+    missing: tuple[str, ...] = ()
+    sql: Optional[str] = None
+    reparse_ok: bool = True
+
+
+def translation_verdict(sql: str, target: str | DialectDescriptor) -> TranslationOutcome:
+    """Attempt a translation and audit its own output.
+
+    Never raises ``FeatureNotSupported`` — refusal is data here, so the
+    lint (:mod:`repro.analysis.lint`) can compare it against the static
+    portability prediction.
+    """
+    descriptor = target if isinstance(target, DialectDescriptor) else dialect(target)
+    try:
+        translated = translate_script(sql, descriptor)
+    except FeatureNotSupported as refusal:
+        return TranslationOutcome(
+            target=descriptor.key, ok=False, missing=(refusal.feature,)
+        )
+    try:
+        traits = script_traits(parse_script(translated))
+        reparse_ok = not descriptor.missing_tags(traits)
+    except SqlError:
+        reparse_ok = False
+    return TranslationOutcome(
+        target=descriptor.key, ok=True, sql=translated, reparse_ok=reparse_ok
+    )
 
 
 def _rewrite(tokens: list[Token], descriptor: DialectDescriptor) -> list[Token]:

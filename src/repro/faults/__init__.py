@@ -27,6 +27,7 @@ from repro.faults.effects import (
     RowDropEffect,
     RowDuplicateEffect,
     RowcountSkewEffect,
+    ScanOrderEffect,
     StallEffect,
     ValueSkewEffect,
 )
@@ -38,6 +39,7 @@ from repro.faults.triggers import (
     RelationTrigger,
     SqlPatternTrigger,
     TagTrigger,
+    TriggerContext,
 )
 
 __all__ = [
@@ -56,9 +58,11 @@ __all__ = [
     "RowDropEffect",
     "RowDuplicateEffect",
     "RowcountSkewEffect",
+    "ScanOrderEffect",
     "SqlPatternTrigger",
     "StallEffect",
     "TagTrigger",
     "TimeoutAuditEntry",
+    "TriggerContext",
     "ValueSkewEffect",
 ]

@@ -105,6 +105,30 @@ def dead_faults(study: StudyResult) -> list[FaultAuditEntry]:
     ]
 
 
+def statically_dead_faults(corpus) -> list[FaultAuditEntry]:
+    """The static complement of :func:`dead_faults`: faults whose
+    trigger matches no statement context derivable from the corpus —
+    found *without executing anything*.
+
+    Two differences from the dynamic audit: Heisenbugs are included
+    (their trigger must still be reachable, only their activation is
+    probabilistic), and faults that fire but get masked before the
+    classifier sees them still count as reachable.  A fault dead here is
+    dead for a stronger reason than "didn't fire this run".
+    """
+    from repro.analysis.reachability import unreachable_faults
+
+    return [
+        FaultAuditEntry(
+            fault_id=fault.fault_id,
+            server=server,
+            description=fault.description,
+            heisenbug=fault.heisenbug,
+        )
+        for server, fault in unreachable_faults(corpus)
+    ]
+
+
 def shared_fault_coverage(study: StudyResult) -> dict[str, int]:
     """How many distinct bug scripts each multi-script fault covered
     (e.g. the PostgreSQL clustered-index fault spans six scripts)."""

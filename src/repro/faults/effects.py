@@ -215,6 +215,34 @@ class StallEffect(Effect):
         return result
 
 
+class ScanOrderEffect(Effect):
+    """Return the correct rows in a different physical order.
+
+    Not a bug at all when the query has no ORDER BY — SQL leaves the
+    order unspecified, and two correct products routinely disagree on it
+    (different access paths, different optimisers).  This effect models
+    that benign divergence so the middleware can be tested against it:
+    ordered comparison would flag a false disagreement, multiset voting
+    (driven by the static analyzer's UNORDERED verdict) must not.  On a
+    query that *does* carry a total ORDER BY the same effect becomes a
+    genuine ordering bug, which ordered comparison must still catch.
+    """
+
+    def __init__(self, mode: str = "reverse") -> None:
+        if mode not in ("reverse", "rotate"):
+            raise ValueError("mode must be 'reverse' or 'rotate'")
+        self.mode = mode
+
+    def apply_after(self, ctx, result):
+        if result.kind != "select" or len(result.rows) < 2:
+            return result
+        if self.mode == "reverse":
+            result.rows = list(reversed(result.rows))
+        else:
+            result.rows = list(result.rows[1:]) + [result.rows[0]]
+        return result
+
+
 class RowcountSkewEffect(Effect):
     """Report a wrong rowcount while returning correct rows.
 

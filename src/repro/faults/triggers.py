@@ -2,18 +2,41 @@
 
 A trigger inspects the :class:`~repro.sqlengine.engine.ExecutionContext`
 of the statement being executed.  Triggers compose with ``&`` and ``|``.
+
+Triggers only read the :class:`TriggerContext` surface, so the static
+reachability analysis (:mod:`repro.analysis.reachability`) can evaluate
+them against synthetic contexts without running any engine.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Iterable
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+from repro.sqlengine.analysis import StatementTraits
+
+
+@runtime_checkable
+class TriggerContext(Protocol):
+    """What a trigger may inspect about the statement in flight.
+
+    Satisfied by the live :class:`~repro.sqlengine.engine.ExecutionContext`
+    and by :class:`repro.analysis.reachability.StaticContext` — keeping
+    this surface narrow is what makes faults statically auditable.
+    """
+
+    sql: str
+    traits: StatementTraits
+    engine: Any
+
+    @property
+    def all_tags(self) -> set[str]: ...
 
 
 class Trigger:
     """Base trigger; subclasses implement :meth:`matches`."""
 
-    def matches(self, ctx) -> bool:  # pragma: no cover - abstract
+    def matches(self, ctx: TriggerContext) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
 
     def __and__(self, other: "Trigger") -> "Trigger":
@@ -26,14 +49,14 @@ class Trigger:
 class AlwaysTrigger(Trigger):
     """Fires on every statement (used for behaviour-flag faults)."""
 
-    def matches(self, ctx) -> bool:
+    def matches(self, ctx: TriggerContext) -> bool:
         return True
 
 
 class NeverTrigger(Trigger):
     """Never fires (placeholder for disabled behaviour)."""
 
-    def matches(self, ctx) -> bool:
+    def matches(self, ctx: TriggerContext) -> bool:
         return False
 
 
@@ -57,7 +80,7 @@ class TagTrigger(Trigger):
         self.forbidden = frozenset(forbidden)
         self.kind = kind
 
-    def matches(self, ctx) -> bool:
+    def matches(self, ctx: TriggerContext) -> bool:
         tags = ctx.all_tags
         if self.kind is not None and ctx.traits.kind != self.kind:
             return False
@@ -82,7 +105,7 @@ class RelationTrigger(Trigger):
         self.names = frozenset(name.lower() for name in names)
         self.kind = kind
 
-    def matches(self, ctx) -> bool:
+    def matches(self, ctx: TriggerContext) -> bool:
         if self.kind is not None and ctx.traits.kind != self.kind:
             return False
         return bool(self.names & ctx.traits.relations)
@@ -95,7 +118,7 @@ class RelationPrefixTrigger(Trigger):
         self.prefix = prefix.lower()
         self.kind = kind
 
-    def matches(self, ctx) -> bool:
+    def matches(self, ctx: TriggerContext) -> bool:
         if self.kind is not None and ctx.traits.kind != self.kind:
             return False
         return any(name.startswith(self.prefix) for name in ctx.traits.relations)
@@ -107,7 +130,7 @@ class SqlPatternTrigger(Trigger):
     def __init__(self, pattern: str) -> None:
         self.regex = re.compile(pattern, re.IGNORECASE | re.DOTALL)
 
-    def matches(self, ctx) -> bool:
+    def matches(self, ctx: TriggerContext) -> bool:
         return bool(self.regex.search(ctx.sql))
 
 
@@ -125,7 +148,7 @@ class RecoveryTrigger(Trigger):
     def __init__(self, phase: str = "recover") -> None:
         self.phase = phase
 
-    def matches(self, ctx) -> bool:
+    def matches(self, ctx: TriggerContext) -> bool:
         return getattr(ctx.engine, "phase", "serve") == self.phase
 
 
@@ -135,7 +158,7 @@ class AllOf(Trigger):
     def __init__(self, triggers: Iterable[Trigger]) -> None:
         self.triggers = tuple(triggers)
 
-    def matches(self, ctx) -> bool:
+    def matches(self, ctx: TriggerContext) -> bool:
         return all(trigger.matches(ctx) for trigger in self.triggers)
 
 
@@ -145,5 +168,5 @@ class AnyOf(Trigger):
     def __init__(self, triggers: Iterable[Trigger]) -> None:
         self.triggers = tuple(triggers)
 
-    def matches(self, ctx) -> bool:
+    def matches(self, ctx: TriggerContext) -> bool:
         return any(trigger.matches(ctx) for trigger in self.triggers)

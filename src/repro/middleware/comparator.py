@@ -21,8 +21,14 @@ class ReplicaAnswer:
     error: str = ""
     result: Any = None  # the raw engine Result for the winning answer
 
-    def vote_key(self, *, normalize: bool = True) -> tuple:
-        """Hashable ballot: answers with equal keys agree."""
+    def vote_key(self, *, normalize: bool = True, ordered: bool = True) -> tuple:
+        """Hashable ballot: answers with equal keys agree.
+
+        ``ordered=False`` votes on the row *multiset*: used when the
+        static analyzer proves the statement carries no ORDER BY
+        guarantee, so two correct products may return different row
+        permutations without disagreeing (no ORDER BY probe needed).
+        """
         if self.status == "crash":
             return ("crash",)
         if self.status == "error":
@@ -31,6 +37,11 @@ class ReplicaAnswer:
             return ("error",)
         if normalize:
             columns, rows = normalize_result(self.columns, self.rows)
+            if not ordered:
+                # Normalised values mix None with tagged tuples, which
+                # do not order against each other — sort by repr, which
+                # is total and canonical after normalisation.
+                rows = tuple(sorted(rows, key=repr))
             # Affected-rowcount is part of the answer: a replica
             # reporting a wrong rowcount (the study's "other" failure
             # class) must disagree with its peers.
@@ -42,6 +53,8 @@ class ReplicaAnswer:
             tuple((type(value).__name__, repr(value)) for value in row)
             for row in self.rows
         )
+        if not ordered:
+            rows = tuple(sorted(rows))
         return ("ok", columns, rows, self.rowcount)
 
 
@@ -88,11 +101,13 @@ class ResultComparator:
     def __init__(self, *, normalize: bool = True) -> None:
         self.normalize = normalize
 
-    def compare(self, answers: list[ReplicaAnswer]) -> ComparisonResult:
+    def compare(
+        self, answers: list[ReplicaAnswer], *, ordered: bool = True
+    ) -> ComparisonResult:
         buckets: dict[tuple, list[ReplicaAnswer]] = {}
         order: list[tuple] = []
         for answer in answers:
-            key = answer.vote_key(normalize=self.normalize)
+            key = answer.vote_key(normalize=self.normalize, ordered=ordered)
             if key not in buckets:
                 buckets[key] = []
                 order.append(key)

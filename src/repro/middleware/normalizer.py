@@ -41,6 +41,12 @@ def normalize_value(value: Any) -> Any:
     if isinstance(value, datetime.datetime):
         return ("ts", value.isoformat(sep=" "))
     if isinstance(value, datetime.date):
+        # Intentional dialect tolerance: a DATE folds to the midnight
+        # timestamp, so a product whose dialect only has a combined
+        # date-time type (MS renames TIMESTAMP to DATETIME; InterBase 6
+        # DATE carried a time part) agrees with a product returning a
+        # plain date for the same value.  A true time-of-day difference
+        # still disagrees — only exact midnight collapses.
         return ("ts", value.isoformat() + " 00:00:00")
     return ("other", repr(value))
 

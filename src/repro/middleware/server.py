@@ -45,8 +45,23 @@ recorded in :attr:`MiddlewareStats.statement_timeouts` and the
 :attr:`DiverseServer.timeout_audit` trail, and the straggler is
 quarantined and recovered exactly like a crashed replica.  Reads get
 one deadline retry (a transient stall is spared eviction); a write is
-never re-run — its slow attempt already applied, and the checkpointed
-replay path rebuilds the replica consistently instead.
+only re-run when the static analyzer (:mod:`repro.analysis`) proved it
+re-execution-safe — otherwise its slow attempt already applied, and
+the checkpointed replay path rebuilds the replica consistently
+instead.
+
+Static analysis (the semantic layer)
+------------------------------------
+
+With ``static_analysis=True`` (the default) every statement is analyzed
+against a schema model maintained from the write history
+(:class:`repro.analysis.schema.ScriptSchema`).  The resulting
+:class:`~repro.analysis.verdicts.StatementVerdict` drives two
+behaviours: SELECTs proven order-free vote on row *multisets* (two
+correct products may return different row permutations without
+disagreeing — no ORDER BY probe needed), and writes proven
+re-execution-safe qualify for the single-shot statement retry that was
+previously reserved for reads.
 
 Recovery is log-based: the middleware keeps the history of committed
 write statements, and a suspected/crashed replica is rebuilt by
@@ -60,6 +75,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.analysis.schema import ScriptSchema
+from repro.analysis.verdicts import (
+    WRITE_KINDS,
+    StatementVerdict,
+    analyze_statement,
+)
 from repro.dialects.translator import translate_script
 from repro.errors import (
     AdjudicationFailure,
@@ -83,26 +104,9 @@ from repro.sqlengine.analysis import extract_traits
 from repro.sqlengine.engine import Result
 from repro.sqlengine.parser import parse_statement
 
-#: Statement kinds that modify state and must reach every replica (and
-#: be replayed on recovery).
-_WRITE_KINDS = frozenset(
-    {
-        "insert",
-        "update",
-        "delete",
-        "create_table",
-        "create_view",
-        "create_index",
-        "drop_table",
-        "drop_view",
-        "drop_index",
-        "alter_table",
-        "begin",
-        "commit",
-        "rollback",
-        "savepoint",
-    }
-)
+#: Statement kinds that modify state — the canonical set lives with the
+#: static analyzer (:data:`repro.analysis.verdicts.WRITE_KINDS`).
+_WRITE_KINDS = WRITE_KINDS
 
 
 @dataclass
@@ -173,6 +177,13 @@ class MiddlewareStats:
     #: Recovery attempts failed because a replayed statement blew the
     #: recovery deadline (a replica stalling *during* recovery).
     recovery_timeouts: int = 0
+    # -- static-analysis counters ----------------------------------------
+    #: SELECTs the analyzer proved order-free and therefore voted as
+    #: row multisets (no ORDER BY probe, no false order divergence).
+    multiset_comparisons: int = 0
+    #: Single-shot retries issued on writes the analyzer proved
+    #: re-execution-safe (the generalisation of "writes never retry").
+    idempotent_write_retries: int = 0
 
     @property
     def detection_events(self) -> int:
@@ -201,6 +212,7 @@ class DiverseServer:
         policy: Optional[SupervisorPolicy] = None,
         clock: Optional[VirtualClock] = None,
         allow_duplicates: bool = False,
+        static_analysis: bool = True,
     ) -> None:
         if len(replicas) < 2 and adjudication != "primary":
             raise MiddlewareError("a diverse server needs at least two replicas")
@@ -220,6 +232,12 @@ class DiverseServer:
         self.comparator = ResultComparator(normalize=normalize)
         self.read_split = read_split
         self.auto_recover = auto_recover
+        #: Static semantic analysis per statement: multiset voting for
+        #: provably-unordered SELECTs and idempotence-gated write
+        #: retries.  Off (ablation) reverts to ordered comparison and
+        #: the blanket "writes never retry" rule.
+        self.static_analysis = static_analysis
+        self._schema = ScriptSchema()
         self.stats = MiddlewareStats()
         self.supervisor = supervisor or ReplicaSupervisor(policy=policy, clock=clock)
         self.supervisor.attach(self)
@@ -270,6 +288,9 @@ class DiverseServer:
         statement = parse_statement(sql)
         traits = extract_traits(statement)
         is_write = traits.kind in _WRITE_KINDS
+        verdict: Optional[StatementVerdict] = None
+        if self.static_analysis:
+            verdict = analyze_statement(statement, self._schema, traits=traits)
         self.stats.statements += 1
         if is_write:
             self.stats.writes += 1
@@ -290,13 +311,15 @@ class DiverseServer:
             if policy == "primary" or (
                 self.read_split and not is_write and policy != "compare"
             ):
-                result = self._execute_single(sql, active, is_write, policy)
+                result = self._execute_single(sql, active, is_write, policy, verdict)
             else:
-                result = self._execute_compared(sql, active, is_write, policy)
+                result = self._execute_compared(sql, active, is_write, policy, verdict)
         finally:
             self._pending_write = None
         if is_write:
             self._write_log.append(sql)
+            if self.static_analysis:
+                self._schema.observe(statement)
             if self.supervised:
                 self.supervisor.maybe_checkpoint()
         return result
@@ -322,10 +345,15 @@ class DiverseServer:
     # -- single-replica path (primary / read-split) ---------------------------------
 
     def _execute_single(
-        self, sql: str, active: list[Replica], is_write: bool, policy: str
+        self,
+        sql: str,
+        active: list[Replica],
+        is_write: bool,
+        policy: str,
+        verdict: Optional[StatementVerdict] = None,
     ) -> Result:
         if is_write and policy != "primary":
-            return self._execute_compared(sql, active, is_write, policy)
+            return self._execute_compared(sql, active, is_write, policy, verdict)
         if is_write or policy == "primary":
             order = active  # primary answers; no read rotation
         else:
@@ -348,7 +376,9 @@ class DiverseServer:
                 and answer.status == "ok"
                 and answer.virtual_cost > deadline
             ):
-                retry = self._retry_within_deadline(replica, sql, is_write, deadline)
+                retry = self._retry_within_deadline(
+                    replica, sql, is_write, deadline, verdict
+                )
                 if retry is None:
                     timed_out.append(replica)
                     self._handle_timeout(replica, sql, answer.virtual_cost, deadline)
@@ -390,7 +420,12 @@ class DiverseServer:
     # -- compared path ------------------------------------------------------------
 
     def _execute_compared(
-        self, sql: str, active: list[Replica], is_write: bool, policy: str
+        self,
+        sql: str,
+        active: list[Replica],
+        is_write: bool,
+        policy: str,
+        verdict: Optional[StatementVerdict] = None,
     ) -> Result:
         answers: list[ReplicaAnswer] = []
         crashed: list[Replica] = []
@@ -402,7 +437,7 @@ class DiverseServer:
                 answers.append(answer)
         for replica in crashed:
             self._handle_crash(replica)
-        answers, timed_out = self._enforce_deadline(sql, answers, is_write)
+        answers, timed_out = self._enforce_deadline(sql, answers, is_write, verdict)
         if not answers:
             if timed_out:
                 keys = ", ".join(answer.replica for answer in timed_out)
@@ -415,7 +450,15 @@ class DiverseServer:
             raise NoReplicasAvailable(f"all replicas crashed on this statement ({keys})")
 
         self._check_performance(answers)
-        comparison = self.comparator.compare(answers)
+        # The analyzer's order verdict picks the vote granularity: a
+        # SELECT proven UNORDERED votes on the row multiset, so correct
+        # replicas returning different physical row orders never read as
+        # disagreement (and no ORDER BY probe is injected).  PARTIAL
+        # stays ordered — a violated ORDER BY must still be detected.
+        ordered = not (verdict is not None and verdict.multiset_comparable)
+        if not ordered:
+            self.stats.multiset_comparisons += 1
+        comparison = self.comparator.compare(answers, ordered=ordered)
         if comparison.unanimous:
             self.stats.unanimous += 1
             return self._answer_to_result(comparison.largest[0])
@@ -444,10 +487,14 @@ class DiverseServer:
                 f"no majority among replicas for {sql!r}", disagreement=comparison
             )
         self.stats.failures_masked += 1
-        winner_key = winners[0].vote_key(normalize=self.comparator.normalize)
+        winner_key = winners[0].vote_key(
+            normalize=self.comparator.normalize, ordered=ordered
+        )
         for key in comparison.minority_replicas():
             replica = self.replica(key)
-            if self._retry_matches(replica, sql, is_write, winner_key):
+            if self._retry_matches(
+                replica, sql, is_write, winner_key, verdict, ordered
+            ):
                 continue
             self._suspect(replica)
         return self._answer_to_result(winners[0])
@@ -471,7 +518,11 @@ class DiverseServer:
     # -- statement watchdog ----------------------------------------------------
 
     def _enforce_deadline(
-        self, sql: str, answers: list[ReplicaAnswer], is_write: bool
+        self,
+        sql: str,
+        answers: list[ReplicaAnswer],
+        is_write: bool,
+        verdict: Optional[StatementVerdict] = None,
     ) -> tuple[list[ReplicaAnswer], list[ReplicaAnswer]]:
         """Split answers into within-deadline responders and timed-out
         stragglers.  Stragglers are audited and quarantined; responders
@@ -487,7 +538,9 @@ class DiverseServer:
                 responders.append(answer)
                 continue
             replica = self.replica(answer.replica)
-            retry = self._retry_within_deadline(replica, sql, is_write, deadline)
+            retry = self._retry_within_deadline(
+                replica, sql, is_write, deadline, verdict
+            )
             if retry is not None:
                 responders.append(retry)
                 continue
@@ -496,15 +549,24 @@ class DiverseServer:
         return responders, timed_out
 
     def _retry_within_deadline(
-        self, replica: Replica, sql: str, is_write: bool, deadline: float
+        self,
+        replica: Replica,
+        sql: str,
+        is_write: bool,
+        deadline: float,
+        verdict: Optional[StatementVerdict] = None,
     ) -> Optional[ReplicaAnswer]:
-        """Re-run a read once on a straggler; a transient stall clears
-        on retry and the replica is spared quarantine.  Writes are never
-        re-run: the slow attempt already applied them."""
-        if is_write or not self._statement_retry_enabled():
+        """Re-run a statement once on a straggler; a transient stall
+        clears on retry and the replica is spared quarantine.  Writes
+        are only re-run when the analyzer proved re-execution safe —
+        otherwise the slow attempt already applied them and a rerun
+        would double-apply."""
+        if not self._retry_safe(is_write, verdict):
             return None
         replica.state = ReplicaState.SUSPECTED
         self.stats.statement_retries += 1
+        if is_write:
+            self.stats.idempotent_write_retries += 1
         retry = self._ask(replica, sql)
         if retry.status == "ok" and retry.virtual_cost <= deadline:
             replica.state = ReplicaState.ACTIVE
@@ -577,18 +639,28 @@ class DiverseServer:
         return retry
 
     def _retry_matches(
-        self, replica: Replica, sql: str, is_write: bool, winner_key: tuple
+        self,
+        replica: Replica,
+        sql: str,
+        is_write: bool,
+        winner_key: tuple,
+        verdict: Optional[StatementVerdict] = None,
+        ordered: bool = True,
     ) -> bool:
-        """Re-run an out-voted read once; True when the retry agrees with
-        the winning answer (a transient fault — keep the replica)."""
-        if is_write or not self._statement_retry_enabled():
+        """Re-run an out-voted statement once; True when the retry agrees
+        with the winning answer (a transient fault — keep the replica).
+        Only reads and analyzer-proven re-execution-safe writes retry."""
+        if not self._retry_safe(is_write, verdict):
             return False
         replica.state = ReplicaState.SUSPECTED
         self.stats.statement_retries += 1
+        if is_write:
+            self.stats.idempotent_write_retries += 1
         retry = self._ask(replica, sql)
         if (
             retry.status != "crash"
-            and retry.vote_key(normalize=self.comparator.normalize) == winner_key
+            and retry.vote_key(normalize=self.comparator.normalize, ordered=ordered)
+            == winner_key
         ):
             replica.state = ReplicaState.ACTIVE
             self.stats.retries_saved += 1
@@ -597,6 +669,24 @@ class DiverseServer:
 
     def _statement_retry_enabled(self) -> bool:
         return self.supervised and self.supervisor.policy.statement_retry
+
+    def _retry_safe(
+        self, is_write: bool, verdict: Optional[StatementVerdict]
+    ) -> bool:
+        """Whether a single-shot re-execution of this statement on one
+        replica is allowed.  Reads always are; writes only when the
+        static analyzer proved re-execution changes neither the state
+        nor the answer (and the policy knob permits it) — the
+        generalisation of the blanket "writes never retry" rule."""
+        if not self._statement_retry_enabled():
+            return False
+        if not is_write:
+            return True
+        return (
+            self.policy.idempotent_write_retry
+            and verdict is not None
+            and verdict.access.reexecution_safe
+        )
 
     @staticmethod
     def _answer_to_result(answer: ReplicaAnswer) -> Result:

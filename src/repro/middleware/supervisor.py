@@ -118,8 +118,14 @@ class SupervisorPolicy:
     #: Re-execute a statement once on a crashed/out-voted replica before
     #: suspecting it, so probabilistic Heisenbug faults (Section 3.2)
     #: don't evict a healthy product.  Out-vote retries apply to reads
-    #: only (re-running a write would double-apply it).
+    #: and statically-proven re-execution-safe writes (see
+    #: ``idempotent_write_retry``); other writes are never re-run.
     statement_retry: bool = True
+    #: Allow the single-shot retry on *writes* the static analyzer
+    #: proves re-execution-safe (state-idempotent with a reproducible
+    #: rowcount — e.g. ``UPDATE t SET lbl = 'x' WHERE id = 1``).  Off
+    #: reverts to the blanket "writes never retry" rule.
+    idempotent_write_retry: bool = True
     #: Failed recovery attempts per incident before giving up (FAILED).
     max_recovery_attempts: int = 8
     #: Backoff before retry ``n`` is ``min(base * factor**(n-1), cap)``
@@ -137,7 +143,7 @@ class SupervisorPolicy:
     checkpoint_interval: Optional[int] = 32
     #: Adjudication fallback order when active replicas drop below the
     #: configured policy's quorum (see :data:`POLICY_QUORUM`).
-    degradation_chain: tuple = ("majority", "compare", "primary")
+    degradation_chain: tuple[str, ...] = ("majority", "compare", "primary")
     #: Per-statement deadline budget in virtual-cost units.  A replica
     #: whose answer costs more is treated as timed out: its answer is
     #: excluded from adjudication, the event is audited as a
@@ -185,13 +191,13 @@ class ReplicaHealth:
     #: Virtual time the current incident started.
     quarantined_at: Optional[float] = None
     #: Virtual times of failed recoveries (pruned to the circuit window).
-    failure_times: list = field(default_factory=list)
+    failure_times: list[float] = field(default_factory=list)
     #: Total quarantine incidents.
     quarantines: int = 0
     #: Latest engine snapshot, if checkpointing is enabled.
     checkpoint: Optional[Checkpoint] = None
     #: Statements replayed by each successful recovery (bench telemetry).
-    replay_lengths: list = field(default_factory=list)
+    replay_lengths: list[int] = field(default_factory=list)
     #: Virtual time the last successful recovery took from quarantine.
     last_recovery_duration: float = 0.0
 

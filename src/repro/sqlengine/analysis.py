@@ -28,6 +28,7 @@ Tag vocabulary (stable, part of the public API):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Union
 
 from repro.sqlengine import ast_nodes as ast
 from repro.sqlengine.functions import AGGREGATE_NAMES
@@ -51,13 +52,15 @@ class StatementTraits:
 
 def extract_traits(stmt: ast.Statement) -> StatementTraits:
     """Extract the trait set of one parsed statement."""
-    kind = _statement_kind(stmt)
+    kind = statement_kind(stmt)
     traits = StatementTraits(kind=kind, tags={f"stmt.{kind}"})
     _walk_statement(stmt, traits, top_level=True)
     return traits
 
 
-def _statement_kind(stmt: ast.Statement) -> str:
+def statement_kind(stmt: ast.Statement) -> str:
+    """The canonical kind string for a statement node (public: the
+    static analyzer keys verdict dispatch on it)."""
     mapping = {
         ast.SelectStatement: "select",
         ast.CreateTable: "create_table",
@@ -76,6 +79,10 @@ def _statement_kind(stmt: ast.Statement) -> str:
         ast.Savepoint: "savepoint",
     }
     return mapping[type(stmt)]
+
+
+#: Backwards-compatible alias (pre-analysis-package name).
+_statement_kind = statement_kind
 
 
 def _walk_statement(stmt: ast.Statement, traits: StatementTraits, top_level: bool = False) -> None:
@@ -163,7 +170,12 @@ def _walk_select(
         traits.tags.add("clause.limit")
 
 
-def _walk_body(body, traits: StatementTraits, *, in_subquery: bool) -> None:
+def _walk_body(
+    body: Union[ast.SelectCore, ast.SetOperation],
+    traits: StatementTraits,
+    *,
+    in_subquery: bool,
+) -> None:
     if isinstance(body, ast.SetOperation):
         op_tag = f"set.{body.op.lower()}"
         traits.tags.add(op_tag)

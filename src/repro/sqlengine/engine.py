@@ -315,12 +315,14 @@ class Engine:
         columns = [ColumnBinding(schema.name, column.name) for column in schema.columns]
         env = Environment(columns, tuple(row))
         executor = SelectExecutor(self, ctx)
-        for index, column in enumerate(schema.columns):
-            if column.check is not None:
-                if executor.evaluator.evaluate(column.check, env) is False:
-                    raise ConstraintViolation(
-                        f"CHECK constraint on column {column.name!r} violated"
-                    )
+        for column in schema.columns:
+            if (
+                column.check is not None
+                and executor.evaluator.evaluate(column.check, env) is False
+            ):
+                raise ConstraintViolation(
+                    f"CHECK constraint on column {column.name!r} violated"
+                )
         for check in schema.checks:
             if executor.evaluator.evaluate(check, env) is False:
                 raise ConstraintViolation(

@@ -72,11 +72,14 @@ def fn_mod(ctx, dividend, divisor):
         result = lint - (lint / rint).to_integral_value(rounding="ROUND_DOWN") * rint
         if isinstance(dividend, int) and isinstance(divisor, int):
             result = int(result)
-    if ctx is not None and ctx.flag("mod_precision_bug"):
+    if (
+        ctx is not None
+        and ctx.flag("mod_precision_bug")
+        and not (isinstance(dividend, int) and isinstance(divisor, int))
+    ):
         # Oracle report 1059835: MOD loses precision for non-integer
         # operands, drifting the result by one ulp-scale quantum.
-        if not (isinstance(dividend, int) and isinstance(divisor, int)):
-            return float(result) + 1e-7
+        return float(result) + 1e-7
     return result
 
 
@@ -326,12 +329,14 @@ class Accumulator:
         if self.name in ("SUM", "AVG"):
             number = _as_number(value, self.name)
             self._sum = number if self._sum is None else self._sum + number
-        elif self.name == "MIN":
-            if self._min is None or sql_compare(value, self._min) < 0:
-                self._min = value
-        elif self.name == "MAX":
-            if self._max is None or sql_compare(value, self._max) > 0:
-                self._max = value
+        elif self.name == "MIN" and (
+            self._min is None or sql_compare(value, self._min) < 0
+        ):
+            self._min = value
+        elif self.name == "MAX" and (
+            self._max is None or sql_compare(value, self._max) > 0
+        ):
+            self._max = value
 
     def result(self) -> Any:
         if self.name == "COUNT":

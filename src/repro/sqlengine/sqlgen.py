@@ -49,7 +49,56 @@ def render_statement(stmt: ast.Statement) -> str:
             f"CREATE {unique}{clustered}INDEX {stmt.name} ON {stmt.table} "
             f"({', '.join(stmt.columns)})"
         )
+    if isinstance(stmt, ast.CreateTable):
+        items = [_render_column_spec(column) for column in stmt.columns]
+        items.extend(_render_table_constraint(c) for c in stmt.constraints)
+        return f"CREATE TABLE {stmt.name} ({', '.join(items)})"
+    if isinstance(stmt, ast.AlterTableAddColumn):
+        return (
+            f"ALTER TABLE {stmt.table} ADD COLUMN "
+            f"{_render_column_spec(stmt.column)}"
+        )
     raise ReproError(f"cannot render {type(stmt).__name__}")
+
+
+def _render_type(type_name: str, type_args: tuple) -> str:
+    first, second = type_args
+    if first is not None and second is not None:
+        return f"{type_name}({first},{second})"
+    if first is not None:
+        return f"{type_name}({first})"
+    return type_name
+
+
+def _render_column_spec(column: ast.ColumnSpec) -> str:
+    parts = [column.name, _render_type(column.type_name, column.type_args)]
+    if column.not_null:
+        parts.append("NOT NULL")
+    if column.primary_key:
+        parts.append("PRIMARY KEY")
+    if column.unique:
+        parts.append("UNIQUE")
+    if column.default is not None:
+        parts.append(f"DEFAULT {render_expression(column.default)}")
+    if column.check is not None:
+        parts.append(f"CHECK ({render_expression(column.check)})")
+    if column.references is not None:
+        table, ref_column = column.references
+        target = f"{table} ({ref_column})" if ref_column else table
+        parts.append(f"REFERENCES {target}")
+    return " ".join(parts)
+
+
+def _render_table_constraint(constraint: ast.TableConstraint) -> str:
+    prefix = f"CONSTRAINT {constraint.name} " if constraint.name else ""
+    if constraint.kind == "CHECK":
+        return f"{prefix}CHECK ({render_expression(constraint.check)})"
+    text = f"{prefix}{constraint.kind} ({', '.join(constraint.columns)})"
+    if constraint.kind == "FOREIGN KEY" and constraint.references is not None:
+        table, columns = constraint.references
+        target = f"{table} ({', '.join(columns)})" if columns else table
+        text += f" REFERENCES {target}"
+    return text
 
 
 def _render_insert(stmt: ast.Insert) -> str:

@@ -87,10 +87,10 @@ class TestCellArithmetic:
 
     def test_feature_choices_cover_all_needed_support_sets(self):
         needed = set()
-        for server, cells in gt.CELLS.items():
+        for cells in gt.CELLS.values():
             for group, *_ in cells:
                 needed.add(group)
-        for server, targets in gt.FURTHER_WORK.items():
+        for targets in gt.FURTHER_WORK.values():
             for target, allocations in targets.items():
                 for group, _ in allocations:
                     expanded = gt.expand_group(group) | {target}
