@@ -1,0 +1,264 @@
+"""Experiment P1 — what the prepared-statement pipeline buys.
+
+Three throughput measurements over the TPC-C transaction mix against a
+four-version majority middleware (IB+PG+OR+MS), plus one equivalence
+check:
+
+* **Cold** — every statement arrives as unique literal text, so each
+  one pays the full front end on all four replicas: parse, dialect
+  translation, static-analysis verdict, then execution.
+* **Warm** — the same transaction stream through prepared handles: the
+  front end runs once per template, every execution is bind + run.
+  The acceptance bar is warm >= 3x cold.
+* **Batch** — ``executemany`` on one INSERT template: one adjudication
+  round per batch (per-row votes only on divergence).
+* **Corpus equivalence** — every runnable bug script from the 181-bug
+  corpus executed twice, statement-by-statement: once through
+  ``server.execute(literal)`` and once through
+  ``server.prepare(literal).execute(())``.  Detections, masks,
+  adjudication failures, outcome classes, and result rows must be
+  identical — preparing must never change what the redundancy sees.
+
+Writes ``BENCH_prepared.json`` (cold/warm/batch statements per second)
+next to the repository root to start the perf trajectory.
+
+Run standalone for CI smoke coverage::
+
+    PYTHONPATH=src python benchmarks/bench_prepared.py --smoke
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bugs import build_corpus  # noqa: E402
+from repro.dialects import translate_script  # noqa: E402
+from repro.errors import AdjudicationFailure, FeatureNotSupported, SqlError  # noqa: E402
+from repro.middleware import DiverseServer, ReplicaState, ServerConfig  # noqa: E402
+from repro.servers import make_server  # noqa: E402
+from repro.study.runner import split_statements  # noqa: E402
+from repro.workload import TpccGenerator, WorkloadRunner  # noqa: E402
+
+KEYS = ("IB", "PG", "OR", "MS")
+SEED = 3
+TRANSACTIONS = 100
+TRIALS = 3
+#: Transactions executed (but not timed) before measurement starts, so
+#: cold and warm modes are timed over the same tail of the stream.
+WARMUP = 8
+BATCH_ROWS = 400
+
+BATCH_TEMPLATE = (
+    "INSERT INTO history (h_c_id, h_d_id, h_w_id, h_amount, h_data) "
+    "VALUES (?, ?, 1, ?, ?)"
+)
+
+
+def fresh_server() -> DiverseServer:
+    """A four-version majority middleware with the TPC-C schema loaded."""
+    server = DiverseServer(
+        [make_server(key) for key in KEYS],
+        config=ServerConfig(adjudication="majority"),
+    )
+    WorkloadRunner(server, seed=SEED).setup()
+    return server
+
+
+def measure_cold(transactions) -> tuple[int, float]:
+    """(timed statements, elapsed) for unique-literal execution."""
+    server = fresh_server()
+    statements = 0
+    elapsed = 0.0
+    for index, transaction in enumerate(transactions):
+        timed = index >= WARMUP
+        for statement in transaction.statements:
+            start = time.perf_counter()
+            server.execute(statement)
+            if timed:
+                elapsed += time.perf_counter() - start
+                statements += 1
+    return statements, elapsed
+
+
+def measure_warm(transactions) -> tuple[int, float]:
+    """(timed statements, elapsed) for prepared-handle execution."""
+    server = fresh_server()
+    handles: dict[str, object] = {}
+    statements = 0
+    elapsed = 0.0
+    for index, transaction in enumerate(transactions):
+        timed = index >= WARMUP
+        for template, params in transaction.prepared_calls():
+            handle = handles.get(template)
+            if handle is None:
+                handle = server.prepare(template)
+                handles[template] = handle
+            start = time.perf_counter()
+            handle.execute(params)
+            if timed:
+                elapsed += time.perf_counter() - start
+                statements += 1
+    return statements, elapsed
+
+
+def measure_batch(rows: int) -> tuple[int, float]:
+    """(rows, elapsed) for one ``executemany`` batch of history inserts."""
+    server = fresh_server()
+    handle = server.prepare(BATCH_TEMPLATE)
+    batch = [
+        (index % 10 + 1, index % 2 + 1, 10.00, f"BATCH_{index}")
+        for index in range(rows)
+    ]
+    start = time.perf_counter()
+    handle.executemany(batch)
+    return rows, time.perf_counter() - start
+
+
+def median_rate(measure, trials: int) -> float:
+    """Median statements-per-second over ``trials`` runs of ``measure``."""
+    rates = []
+    for _ in range(trials):
+        count, elapsed = measure()
+        rates.append(count / elapsed)
+    return statistics.median(rates)
+
+
+def runnable_scripts(corpus, limit: int):
+    """Corpus scripts every product can translate (the comparable set)."""
+    scripts = []
+    for report in corpus:
+        if report.translation_pending & set(KEYS):
+            continue
+        try:
+            for key in KEYS:
+                translate_script(report.script, key)
+        except FeatureNotSupported:
+            continue
+        scripts.append(report)
+        if len(scripts) >= limit:
+            break
+    return scripts
+
+
+def corpus_signature(corpus, scripts, *, prepared: bool):
+    """Per-script adjudication signature for one execution mode.
+
+    Each entry is (bug id, stats delta, per-statement outcomes) where a
+    stats delta is (disagreements, masks, adjudication failures) and an
+    outcome is the result rows or the error class that surfaced.
+    """
+    server = DiverseServer(
+        [make_server(key, corpus.faults_for(key)) for key in KEYS],
+        config=ServerConfig(adjudication="majority", auto_recover=False),
+    )
+    stats = server.stats
+    signature = []
+    for report in scripts:
+        for replica in server.replicas:
+            replica.product.reset()
+            replica.state = ReplicaState.ACTIVE
+        server._write_log.clear()
+        before = (
+            stats.disagreements_detected,
+            stats.failures_masked,
+            stats.adjudication_failures,
+        )
+        outcomes = []
+        for statement in split_statements(report.script):
+            try:
+                if prepared:
+                    result = server.prepare(statement).execute(())
+                else:
+                    result = server.execute(statement)
+                outcomes.append(("ok", result.rows))
+            except AdjudicationFailure:
+                outcomes.append(("adjudication-failure",))
+            except SqlError:
+                outcomes.append(("sql-error",))
+        delta = tuple(
+            after - prior
+            for after, prior in zip(
+                (
+                    stats.disagreements_detected,
+                    stats.failures_masked,
+                    stats.adjudication_failures,
+                ),
+                before,
+            )
+        )
+        signature.append((report.bug_id, delta, outcomes))
+    return signature
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast run with assertions (CI gate)")
+    parser.add_argument("--out", default=str(ROOT / "BENCH_prepared.json"),
+                        help="where to write the JSON results")
+    args = parser.parse_args(argv)
+    count = 40 if args.smoke else TRANSACTIONS
+    corpus_limit = 60 if args.smoke else 10_000
+
+    transactions = list(TpccGenerator(seed=SEED).transactions(count))
+    cold = median_rate(lambda: measure_cold(transactions), TRIALS)
+    warm = median_rate(lambda: measure_warm(transactions), TRIALS)
+    batch = median_rate(lambda: measure_batch(BATCH_ROWS), TRIALS)
+
+    print("=== P1a: TPC-C mix, four-version majority middleware ===")
+    print(f"{'mode':<28} {'stmt/s':>8}")
+    print(f"{'cold (unique literals)':<28} {cold:>8.0f}")
+    print(f"{'warm (prepared handles)':<28} {warm:>8.0f}")
+    print(f"{'batch (executemany)':<28} {batch:>8.0f}")
+    print(f"warm/cold {warm / cold:.2f}x   batch/warm {batch / warm:.2f}x")
+
+    corpus = build_corpus()
+    scripts = runnable_scripts(corpus, corpus_limit)
+    literal = corpus_signature(corpus, scripts, prepared=False)
+    prepared = corpus_signature(corpus, scripts, prepared=True)
+    identical = literal == prepared
+    detections = sum(1 for _, delta, _ in literal if any(delta))
+    print("\n=== P1b: adjudication equivalence on the bug corpus ===")
+    print(f"{len(scripts)} scripts, {detections} with detection events: "
+          f"prepared vs literal outcomes "
+          f"{'identical' if identical else 'DIVERGED'}")
+    if not identical:
+        for lit, pre in zip(literal, prepared):
+            if lit != pre:
+                print(f"  first divergence: {lit[0]}")
+                break
+
+    payload = {
+        "experiment": "prepared-statement pipeline (P1)",
+        "mode": "smoke" if args.smoke else "full",
+        "transactions": count,
+        "trials": TRIALS,
+        "cold_stmt_per_s": round(cold, 1),
+        "warm_stmt_per_s": round(warm, 1),
+        "batch_stmt_per_s": round(batch, 1),
+        "warm_over_cold": round(warm / cold, 2),
+        "batch_over_warm": round(batch / warm, 2),
+        "corpus_scripts_compared": len(scripts),
+        "adjudication_identical": identical,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    assert identical, "prepared execution changed an adjudication outcome"
+    assert warm >= 3 * cold, f"warm {warm:.0f} < 3x cold {cold:.0f} stmt/s"
+    assert batch > warm, f"batch {batch:.0f} <= warm {warm:.0f} stmt/s"
+    if args.smoke:
+        print("smoke assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

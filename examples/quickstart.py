@@ -14,10 +14,18 @@ behaviours that matter:
 Run:  python examples/quickstart.py
 """
 
+from decimal import Decimal
+
 from repro.errors import AdjudicationFailure
 from repro.faults import FaultSpec, RelationTrigger, RowDropEffect
-from repro.middleware import DiverseServer
+from repro.middleware import DiverseServer, ServerConfig
 from repro.servers import make_interbase, make_mssql, make_oracle
+
+ACCOUNT_ROWS = [
+    (1, "ann", Decimal("120.00")),
+    (2, "bob", Decimal("80.00")),
+    (3, "cat", Decimal("310.00")),
+]
 
 
 def wrong_rows_fault() -> FaultSpec:
@@ -33,16 +41,17 @@ def wrong_rows_fault() -> FaultSpec:
 def main() -> None:
     # -- 1. a healthy diverse pair ---------------------------------------
     server = DiverseServer(
-        [make_interbase(), make_oracle()], adjudication="compare"
+        [make_interbase(), make_oracle()],
+        config=ServerConfig(adjudication="compare"),
     )
     server.execute(
         "CREATE TABLE accounts (id INTEGER PRIMARY KEY, owner VARCHAR(20), "
         "balance NUMERIC(10,2))"
     )
-    server.execute(
-        "INSERT INTO accounts (id, owner, balance) VALUES "
-        "(1, 'ann', 120.00), (2, 'bob', 80.00), (3, 'cat', 310.00)"
-    )
+    # Prepared once (parsed/translated/analyzed for both products), then
+    # executed per row with bound parameters — one adjudicated vote each.
+    insert = server.prepare("INSERT INTO accounts (id, owner, balance) VALUES (?, ?, ?)")
+    insert.executemany(ACCOUNT_ROWS)
     result = server.execute("SELECT owner, balance FROM accounts ORDER BY balance DESC")
     print("healthy pair answers (cross-checked on both products):")
     for row in result.rows:
@@ -52,17 +61,15 @@ def main() -> None:
     # -- 2. detection: one replica goes wrong ---------------------------------
     faulty_pair = DiverseServer(
         [make_interbase([wrong_rows_fault()]), make_oracle()],
-        adjudication="compare",
-        auto_recover=False,
+        config=ServerConfig(adjudication="compare", auto_recover=False),
     )
     faulty_pair.execute(
         "CREATE TABLE accounts (id INTEGER PRIMARY KEY, owner VARCHAR(20), "
         "balance NUMERIC(10,2))"
     )
-    faulty_pair.execute(
-        "INSERT INTO accounts (id, owner, balance) VALUES "
-        "(1, 'ann', 120.00), (2, 'bob', 80.00), (3, 'cat', 310.00)"
-    )
+    faulty_pair.prepare(
+        "INSERT INTO accounts (id, owner, balance) VALUES (?, ?, ?)"
+    ).executemany(ACCOUNT_ROWS)
     try:
         faulty_pair.execute("SELECT owner FROM accounts ORDER BY id")
     except AdjudicationFailure as failure:
@@ -72,20 +79,21 @@ def main() -> None:
     # -- 3. masking: a third diverse opinion -------------------------------------
     triple = DiverseServer(
         [make_interbase([wrong_rows_fault()]), make_oracle(), make_mssql()],
-        adjudication="majority",
+        config=ServerConfig(adjudication="majority"),
     )
     triple.execute(
         "CREATE TABLE accounts (id INTEGER PRIMARY KEY, owner VARCHAR(20), "
         "balance NUMERIC(10,2))"
     )
-    triple.execute(
-        "INSERT INTO accounts (id, owner, balance) VALUES "
-        "(1, 'ann', 120.00), (2, 'bob', 80.00), (3, 'cat', 310.00)"
-    )
+    triple.prepare(
+        "INSERT INTO accounts (id, owner, balance) VALUES (?, ?, ?)"
+    ).executemany(ACCOUNT_ROWS)
     result = triple.execute("SELECT owner FROM accounts ORDER BY id")
     print("3-version majority MASKED the same fault; the client saw:")
     for row in result.rows:
         print("  ", row)
+    if result.warnings:
+        print("  middleware warnings:", "; ".join(result.warnings))
     print(f"failures masked: {triple.stats.failures_masked}, "
           f"replica recoveries: {triple.stats.recoveries}")
 

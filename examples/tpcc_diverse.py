@@ -6,6 +6,8 @@ Runs the same deterministic transaction stream against:
 * a 2-version diverse pair with full comparison,
 * the same pair with the read-split optimisation of reference [9],
 * a 3-version majority configuration,
+* the 3-version configuration again with prepared statements
+  (templates parsed/translated/analyzed once, values bound per call),
 
 and prints throughput plus dependability counters — the performance /
 dependability trade-off the paper says users should tune "on an ongoing
@@ -14,15 +16,15 @@ basis".
 Run:  python examples/tpcc_diverse.py
 """
 
-from repro.middleware import DiverseServer
+from repro.middleware import DiverseServer, ServerConfig
 from repro.servers import make_server
 from repro.workload import TpccGenerator, WorkloadRunner
 
 TRANSACTIONS = 120
 
 
-def measure(label, endpoint):
-    runner = WorkloadRunner(endpoint, seed=21)
+def measure(label, endpoint, *, use_prepared=False):
+    runner = WorkloadRunner(endpoint, seed=21, use_prepared=use_prepared)
     runner.setup()
     metrics = runner.run(TRANSACTIONS, generator=TpccGenerator(seed=21))
     state = "clean" if metrics.failure_free else (
@@ -39,27 +41,40 @@ def main() -> None:
         measure(f"1v {key}", make_server(key))
     measure(
         "2v IB+OR (full compare)",
-        DiverseServer([make_server("IB"), make_server("OR")], adjudication="compare"),
+        DiverseServer(
+            [make_server("IB"), make_server("OR")],
+            config=ServerConfig(adjudication="compare"),
+        ),
     )
     measure(
         "2v IB+OR (read-split)",
         DiverseServer(
             [make_server("IB"), make_server("OR")],
-            adjudication="majority",
-            read_split=True,
+            config=ServerConfig(adjudication="majority", read_split=True),
         ),
     )
     measure(
         "3v IB+OR+MS (majority)",
         DiverseServer(
             [make_server("IB"), make_server("OR"), make_server("MS")],
-            adjudication="majority",
+            config=ServerConfig(adjudication="majority"),
         ),
+    )
+    prepared_server = DiverseServer(
+        [make_server("IB"), make_server("OR"), make_server("MS")],
+        config=ServerConfig(adjudication="majority"),
+    )
+    measure("3v IB+OR+MS (prepared)", prepared_server, use_prepared=True)
+    stats = prepared_server.pipeline.stats
+    print(
+        f"\nprepared front-end cache: {stats.hits} hits / {stats.misses} misses"
+        f" (parse+translate+analyze ran once per template)"
     )
     print(
         "\nAs the paper reports for its TPC-C runs: no failures observed on"
         "\nfault-free catalogs; comparison costs throughput, read-splitting"
-        "\nrecovers much of it at the price of uncompared reads."
+        "\nrecovers much of it at the price of uncompared reads; prepared"
+        "\nexecution claws back the front-end share of the comparison cost."
     )
 
 

@@ -18,8 +18,9 @@ reproduced tables.
 """
 
 from repro.bugs import build_corpus
-from repro.middleware import DiverseServer
+from repro.middleware import DiverseServer, PreparedStatement, Result, ServerConfig
 from repro.servers import (
+    SqlServer,
     make_all_servers,
     make_interbase,
     make_mssql,
@@ -33,6 +34,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DiverseServer",
+    "PreparedStatement",
+    "Result",
+    "ServerConfig",
+    "SqlServer",
     "__version__",
     "build_corpus",
     "make_all_servers",

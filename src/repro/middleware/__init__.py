@@ -3,25 +3,39 @@
 See :class:`repro.middleware.server.DiverseServer` for the main entry
 point: a fault-tolerant SQL server assembled from two or more diverse
 off-the-shelf server products, comparing their answers on every
-statement.
+statement.  ``server.prepare(sql)`` returns a
+:class:`~repro.middleware.server.PreparedStatement` that amortizes the
+parse/translate/analyze front-end across repeated executions.
 """
 
 from repro.middleware.comparator import ComparisonResult, ResultComparator
 from repro.middleware.normalizer import normalize_result, normalize_signature, normalize_value
-from repro.middleware.server import DiverseServer, replicated_server
+from repro.middleware.pipeline import PipelineStats, StatementPipeline
+from repro.middleware.server import (
+    DiverseServer,
+    PreparedStatement,
+    ServerConfig,
+    replicated_server,
+)
 from repro.middleware.supervisor import (
     ReplicaState,
     ReplicaSupervisor,
     SupervisorPolicy,
     VirtualClock,
 )
+from repro.sqlengine.engine import Result
 
 __all__ = [
     "ComparisonResult",
     "DiverseServer",
+    "PipelineStats",
+    "PreparedStatement",
     "ReplicaState",
     "ReplicaSupervisor",
+    "Result",
     "ResultComparator",
+    "ServerConfig",
+    "StatementPipeline",
     "SupervisorPolicy",
     "VirtualClock",
     "normalize_result",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.errors import SqlError
 from repro.middleware.normalizer import normalize_result
 
 
@@ -20,6 +21,15 @@ class ReplicaAnswer:
     virtual_cost: float = 0.0
     error: str = ""
     result: Any = None  # the raw engine Result for the winning answer
+
+    def unwrap(self):
+        """The engine :class:`~repro.sqlengine.engine.Result` behind a
+        winning answer.  An ``error`` answer re-raises: when it wins
+        the vote, erroring *is* the agreed-correct behaviour (e.g. a
+        genuine constraint violation)."""
+        if self.status == "error":
+            raise SqlError(self.error)
+        return self.result
 
     def vote_key(self, *, normalize: bool = True, ordered: bool = True) -> tuple:
         """Hashable ballot: answers with equal keys agree.

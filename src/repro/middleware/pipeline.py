@@ -1,0 +1,157 @@
+"""Front-end memoization for the prepared-statement pipeline.
+
+Every ``DiverseServer.execute`` call runs the same front-end stages:
+parse the statement, extract traits, translate it to each replica's
+dialect, and (with static analysis on) compute order/access verdicts.
+All of that work depends only on the statement *text* and — for the
+verdicts and per-dialect artifacts — on the current schema, so it is
+memoized here and amortized across repeated executions.
+
+Cache keys and invalidation:
+
+* **parsed** — keyed on statement text alone.  Parsing is
+  schema-independent; name binding happens at execute time.
+* **translation** — keyed on ``(dialect key, text, generation)``.  The
+  token-level rewrite itself is schema-independent, but prepared
+  handles derived from a translation are re-prepared after DDL, so the
+  generation is part of the key (the satellite contract: dialect AND
+  text AND schema generation).
+* **verdict** — keyed on ``(text, generation)``.  Order verdicts read
+  the schema's unique keys (``ORDER BY c`` is TOTAL only while ``c``
+  is unique), so a stale entry after ``CREATE INDEX`` / ``ALTER
+  TABLE`` would be wrong.  Bumping the generation on every DDL makes
+  that impossible.
+
+The generation mirrors the engines' ``Catalog.generation`` counter:
+the middleware bumps it once per DDL statement it commits, which is
+exactly when every replica catalog bumped its own.
+
+Translation *refusals* (:class:`~repro.errors.FeatureNotSupported`)
+are cached too — a dialect that rejects a statement rejects it every
+time — and re-raised on each hit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Union
+
+from repro.analysis.schema import ScriptSchema
+from repro.analysis.verdicts import StatementVerdict, analyze_statement
+from repro.dialects.features import DialectDescriptor
+from repro.dialects.translator import translate_script
+from repro.errors import FeatureNotSupported
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.analysis import StatementTraits, extract_traits
+from repro.sqlengine.parser import parse_prepared
+
+
+@dataclass
+class PipelineStats:
+    """Hit/miss accounting for each cache layer."""
+
+    parse_hits: int = 0
+    parse_misses: int = 0
+    translate_hits: int = 0
+    translate_misses: int = 0
+    verdict_hits: int = 0
+    verdict_misses: int = 0
+    #: Schema-generation bumps (each one invalidates the keyed layers).
+    invalidations: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.parse_hits + self.translate_hits + self.verdict_hits
+
+    @property
+    def misses(self) -> int:
+        return self.parse_misses + self.translate_misses + self.verdict_misses
+
+
+#: A parsed entry: (statement, traits, placeholder count).
+ParsedEntry = tuple[ast.Statement, StatementTraits, int]
+
+
+class StatementPipeline:
+    """Bounded LRU memoization of the per-statement front-end stages."""
+
+    def __init__(self, *, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("pipeline capacity must be positive")
+        self.capacity = capacity
+        self.generation = 0
+        self.stats = PipelineStats()
+        self._parsed: OrderedDict[str, ParsedEntry] = OrderedDict()
+        self._translations: OrderedDict[
+            tuple[str, str, int], Union[str, FeatureNotSupported]
+        ] = OrderedDict()
+        self._verdicts: OrderedDict[tuple[str, int], StatementVerdict] = OrderedDict()
+
+    def bump_generation(self) -> None:
+        """Record a schema change: entries keyed on the old generation
+        can no longer be returned."""
+        self.generation += 1
+        self.stats.invalidations += 1
+
+    # -- stages ------------------------------------------------------------
+
+    def parsed(self, sql: str) -> ParsedEntry:
+        """Parse one statement and extract its traits, memoized."""
+        entry = self._parsed.get(sql)
+        if entry is not None:
+            self._parsed.move_to_end(sql)
+            self.stats.parse_hits += 1
+            return entry
+        statement, param_count = parse_prepared(sql)
+        entry = (statement, extract_traits(statement), param_count)
+        self._store(self._parsed, sql, entry)
+        self.stats.parse_misses += 1
+        return entry
+
+    def translation(self, sql: str, descriptor: DialectDescriptor) -> str:
+        """Translate ``sql`` to a dialect, memoized; cached refusals
+        re-raise their :class:`FeatureNotSupported`."""
+        key = (descriptor.key, sql, self.generation)
+        cached = self._translations.get(key)
+        if cached is not None:
+            self._translations.move_to_end(key)
+            self.stats.translate_hits += 1
+            if isinstance(cached, FeatureNotSupported):
+                raise cached
+            return cached
+        self.stats.translate_misses += 1
+        try:
+            translated = translate_script(sql, descriptor)
+        except FeatureNotSupported as refusal:
+            self._store(self._translations, key, refusal)
+            raise
+        self._store(self._translations, key, translated)
+        return translated
+
+    def verdict(
+        self,
+        sql: str,
+        statement: ast.Statement,
+        schema: ScriptSchema,
+        traits: StatementTraits,
+    ) -> StatementVerdict:
+        """Static-analysis verdict for one statement, memoized per
+        schema generation."""
+        key = (sql, self.generation)
+        cached = self._verdicts.get(key)
+        if cached is not None:
+            self._verdicts.move_to_end(key)
+            self.stats.verdict_hits += 1
+            return cached
+        verdict = analyze_statement(statement, schema, traits=traits)
+        self._store(self._verdicts, key, verdict)
+        self.stats.verdict_misses += 1
+        return verdict
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _store(self, cache: OrderedDict, key, value) -> None:
+        if len(cache) >= self.capacity:
+            cache.popitem(last=False)
+        cache[key] = value

@@ -72,16 +72,12 @@ others continue" scenario of Section 2.1.
 
 from __future__ import annotations
 
+import warnings as _warnings
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from repro.analysis.schema import ScriptSchema
-from repro.analysis.verdicts import (
-    WRITE_KINDS,
-    StatementVerdict,
-    analyze_statement,
-)
-from repro.dialects.translator import translate_script
+from repro.analysis.verdicts import WRITE_KINDS, StatementVerdict
 from repro.errors import (
     AdjudicationFailure,
     EngineCrash,
@@ -92,6 +88,7 @@ from repro.errors import (
 )
 from repro.faults.audit import TimeoutAuditEntry
 from repro.middleware.comparator import ReplicaAnswer, ResultComparator
+from repro.middleware.pipeline import StatementPipeline
 from repro.middleware.supervisor import (
     ReplicaHealth,
     ReplicaState,
@@ -100,13 +97,28 @@ from repro.middleware.supervisor import (
     VirtualClock,
 )
 from repro.servers.product import ServerProduct
-from repro.sqlengine.analysis import extract_traits
-from repro.sqlengine.engine import Result
-from repro.sqlengine.parser import parse_statement
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.analysis import StatementTraits
+from repro.sqlengine.engine import EnginePrepared, Result
+from repro.sqlengine.params import placeholder_positions, splice_params
 
 #: Statement kinds that modify state — the canonical set lives with the
 #: static analyzer (:data:`repro.analysis.verdicts.WRITE_KINDS`).
 _WRITE_KINDS = WRITE_KINDS
+
+#: Statement kinds that change the schema: these bump the pipeline
+#: generation, invalidating translation and verdict cache entries.
+_DDL_KINDS = frozenset(
+    {
+        "create_table",
+        "create_view",
+        "create_index",
+        "drop_table",
+        "drop_view",
+        "drop_index",
+        "alter_table",
+    }
+)
 
 
 @dataclass
@@ -184,6 +196,14 @@ class MiddlewareStats:
     #: Single-shot retries issued on writes the analyzer proved
     #: re-execution-safe (the generalisation of "writes never retry").
     idempotent_write_retries: int = 0
+    # -- prepared/batch counters -----------------------------------------
+    #: ``executemany`` invocations (one adjudication round each).
+    batches: int = 0
+    #: Rows executed through ``executemany``.
+    batched_statements: int = 0
+    #: Batched rows settled by the raw-equality fast path (identical
+    #: bytes from every replica — no comparator vote needed).
+    batch_fast_votes: int = 0
 
     @property
     def detection_events(self) -> int:
@@ -197,28 +217,93 @@ class MiddlewareStats:
         )
 
 
+@dataclass
+class ServerConfig:
+    """Construction-time configuration for :class:`DiverseServer` (and
+    :func:`replicated_server`).  One object carries every knob, so
+    configurations can be shared, compared, and passed around instead
+    of sprawling keyword lists."""
+
+    adjudication: str = "majority"
+    normalize: bool = True
+    read_split: bool = False
+    auto_recover: bool = True
+    supervisor: Optional[ReplicaSupervisor] = None
+    policy: Optional[SupervisorPolicy] = None
+    clock: Optional[VirtualClock] = None
+    allow_duplicates: bool = False
+    static_analysis: bool = True
+    #: Bound on entries per pipeline cache layer (parse/translate/verdict).
+    pipeline_capacity: int = 1024
+
+
+@dataclass
+class StatementCall:
+    """One execution of one statement, as seen by the replica plumbing.
+
+    ``sql`` is the template text (with ``?`` placeholders for prepared
+    statements); ``bound_sql`` is the literal-substituted text recorded
+    in the write log so recovery replay needs no parameter store.  For
+    unprepared statements the two are identical.
+    """
+
+    sql: str
+    bound_sql: str
+    params: tuple = ()
+    prepared: Optional["PreparedStatement"] = None
+
+
+#: Upper bound on memoized PreparedStatement handles per server.
+_PREPARED_CACHE_SIZE = 512
+
+
 class DiverseServer:
-    """A fault-tolerant SQL server built from diverse OTS products."""
+    """A fault-tolerant SQL server built from diverse OTS products.
+
+    Configure with a :class:`ServerConfig` (``config=``) or with the
+    equivalent individual keywords; mixing both is an error.  Positional
+    settings after ``replicas`` are deprecated (they map onto the config
+    fields in declaration order and emit :class:`DeprecationWarning`).
+    """
 
     def __init__(
         self,
         replicas: Sequence[ServerProduct],
-        *,
-        adjudication: str = "majority",
-        normalize: bool = True,
-        read_split: bool = False,
-        auto_recover: bool = True,
-        supervisor: Optional[ReplicaSupervisor] = None,
-        policy: Optional[SupervisorPolicy] = None,
-        clock: Optional[VirtualClock] = None,
-        allow_duplicates: bool = False,
-        static_analysis: bool = True,
+        *args: Any,
+        config: Optional[ServerConfig] = None,
+        **kwargs: Any,
     ) -> None:
+        if args:
+            _warnings.warn(
+                "positional DiverseServer settings are deprecated; pass a "
+                "ServerConfig or keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            names = ("adjudication", "normalize", "read_split", "auto_recover")
+            if len(args) > len(names):
+                raise MiddlewareError(
+                    f"too many positional settings ({len(args)}); use ServerConfig"
+                )
+            for name, value in zip(names, args):
+                if name in kwargs:
+                    raise MiddlewareError(f"duplicate setting {name!r}")
+                kwargs[name] = value
+        if config is not None and kwargs:
+            raise MiddlewareError(
+                "pass either config= or individual settings, not both"
+            )
+        if config is None:
+            try:
+                config = ServerConfig(**kwargs)
+            except TypeError as error:
+                raise MiddlewareError(f"unknown server setting: {error}") from None
+        adjudication = config.adjudication
         if len(replicas) < 2 and adjudication != "primary":
             raise MiddlewareError("a diverse server needs at least two replicas")
         if adjudication not in ("compare", "majority", "monitor", "primary"):
             raise MiddlewareError(f"unknown adjudication policy {adjudication!r}")
-        if not allow_duplicates:
+        if not config.allow_duplicates:
             seen = set()
             for product in replicas:
                 if product.key in seen:
@@ -227,25 +312,32 @@ class DiverseServer:
                         "distinct products (use replicated_server for identical copies)"
                     )
                 seen.add(product.key)
+        self.config = config
         self.replicas = [Replica(product) for product in replicas]
         self.adjudication = adjudication
-        self.comparator = ResultComparator(normalize=normalize)
-        self.read_split = read_split
-        self.auto_recover = auto_recover
+        self.comparator = ResultComparator(normalize=config.normalize)
+        self.read_split = config.read_split
+        self.auto_recover = config.auto_recover
         #: Static semantic analysis per statement: multiset voting for
         #: provably-unordered SELECTs and idempotence-gated write
         #: retries.  Off (ablation) reverts to ordered comparison and
         #: the blanket "writes never retry" rule.
-        self.static_analysis = static_analysis
+        self.static_analysis = config.static_analysis
         self._schema = ScriptSchema()
         self.stats = MiddlewareStats()
-        self.supervisor = supervisor or ReplicaSupervisor(policy=policy, clock=clock)
+        #: Memoized front-end stages (parse / per-dialect translation /
+        #: analysis verdicts), invalidated on DDL via its generation.
+        self.pipeline = StatementPipeline(capacity=config.pipeline_capacity)
+        self.supervisor = config.supervisor or ReplicaSupervisor(
+            policy=config.policy, clock=config.clock
+        )
         self.supervisor.attach(self)
         self._write_log: list[str] = []
         #: The write statement currently in flight (not yet committed to
         #: the log); recoveries triggered mid-statement replay it too.
         self._pending_write: Optional[str] = None
         self._read_cursor = 0
+        self._prepared: dict[str, PreparedStatement] = {}
         #: (sql, group leaders) pairs recorded in ``monitor`` mode.
         self.disagreement_log: list[tuple[str, list[str]]] = []
         #: One entry per statement-deadline violation (service and
@@ -285,12 +377,42 @@ class DiverseServer:
 
     def execute(self, sql: str) -> Result:
         """Execute one statement through the redundant configuration."""
-        statement = parse_statement(sql)
-        traits = extract_traits(statement)
+        statement, traits, param_count = self.pipeline.parsed(sql)
+        if param_count:
+            raise MiddlewareError(
+                f"statement has {param_count} unbound parameter(s); "
+                "use prepare() to execute it with values"
+            )
+        call = StatementCall(sql=sql, bound_sql=sql)
+        return self._execute_bound(call, statement, traits)
+
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Parse, analyze, and translate ``sql`` once; execute it many
+        times with bound parameters through the returned handle.
+        Handles are memoized per statement text."""
+        handle = self._prepared.get(sql)
+        if handle is None:
+            handle = PreparedStatement(self, sql)
+            if len(self._prepared) >= _PREPARED_CACHE_SIZE:
+                self._prepared.pop(next(iter(self._prepared)))
+            self._prepared[sql] = handle
+        return handle
+
+    def _execute_bound(
+        self,
+        call: StatementCall,
+        statement: ast.Statement,
+        traits: StatementTraits,
+        fast_unanimous: bool = False,
+    ) -> Result:
+        """The adjudicated execution core shared by the unprepared,
+        prepared, and batched paths.  Charges exactly one supervisor
+        tick — ``executemany`` calls this once per row, so deadlines
+        and quarantine backoffs see batches as row sequences."""
         is_write = traits.kind in _WRITE_KINDS
         verdict: Optional[StatementVerdict] = None
         if self.static_analysis:
-            verdict = analyze_statement(statement, self._schema, traits=traits)
+            verdict = self.pipeline.verdict(call.sql, statement, self._schema, traits)
         self.stats.statements += 1
         if is_write:
             self.stats.writes += 1
@@ -306,22 +428,31 @@ class DiverseServer:
             raise NoReplicasAvailable(f"no active replicas ({states})")
 
         policy = self._effective_adjudication(len(active))
-        self._pending_write = sql if is_write else None
+        self._pending_write = call.bound_sql if is_write else None
         try:
             if policy == "primary" or (
                 self.read_split and not is_write and policy != "compare"
             ):
-                result = self._execute_single(sql, active, is_write, policy, verdict)
+                result = self._execute_single(call, active, is_write, policy, verdict)
             else:
-                result = self._execute_compared(sql, active, is_write, policy, verdict)
+                result = self._execute_compared(
+                    call, active, is_write, policy, verdict, fast_unanimous
+                )
         finally:
             self._pending_write = None
         if is_write:
-            self._write_log.append(sql)
+            self._write_log.append(call.bound_sql)
             if self.static_analysis:
                 self._schema.observe(statement)
+            if traits.kind in _DDL_KINDS:
+                self.pipeline.bump_generation()
             if self.supervised:
                 self.supervisor.maybe_checkpoint()
+        if policy != self.adjudication:
+            result.warnings.append(
+                f"adjudication degraded from {self.adjudication!r} to {policy!r}"
+                " (too few active replicas)"
+            )
         return result
 
     def execute_script(self, sql: str) -> list[Result]:
@@ -346,14 +477,14 @@ class DiverseServer:
 
     def _execute_single(
         self,
-        sql: str,
+        call: StatementCall,
         active: list[Replica],
         is_write: bool,
         policy: str,
         verdict: Optional[StatementVerdict] = None,
     ) -> Result:
         if is_write and policy != "primary":
-            return self._execute_compared(sql, active, is_write, policy, verdict)
+            return self._execute_compared(call, active, is_write, policy, verdict)
         if is_write or policy == "primary":
             order = active  # primary answers; no read rotation
         else:
@@ -365,7 +496,7 @@ class DiverseServer:
         #: quarantined with it pending — recovery replays it for them).
         handled: set[str] = set()
         for replica in order:
-            answer = self._ask_with_crash_retry(replica, sql)
+            answer = self._ask_with_crash_retry(replica, call)
             handled.add(replica.key)
             if answer.status == "crash":
                 crashed.append(replica)
@@ -377,11 +508,13 @@ class DiverseServer:
                 and answer.virtual_cost > deadline
             ):
                 retry = self._retry_within_deadline(
-                    replica, sql, is_write, deadline, verdict
+                    replica, call, is_write, deadline, verdict
                 )
                 if retry is None:
                     timed_out.append(replica)
-                    self._handle_timeout(replica, sql, answer.virtual_cost, deadline)
+                    self._handle_timeout(
+                        replica, call.bound_sql, answer.virtual_cost, deadline
+                    )
                     continue
                 answer = retry
             if answer.status == "error":
@@ -391,7 +524,7 @@ class DiverseServer:
                 for other in active:
                     if other.key in handled:
                         continue
-                    other_answer = self._ask(other, sql)
+                    other_answer = self._ask(other, call)
                     if other_answer.status == "crash":
                         self._handle_crash(other)
                     elif (
@@ -400,13 +533,13 @@ class DiverseServer:
                         and other_answer.virtual_cost > deadline
                     ):
                         self._handle_timeout(
-                            other, sql, other_answer.virtual_cost, deadline
+                            other, call.bound_sql, other_answer.virtual_cost, deadline
                         )
             return answer.result
         if timed_out:
             keys = ", ".join(replica.key for replica in timed_out)
             raise StatementTimeout(
-                f"no replica answered {sql!r} within the deadline "
+                f"no replica answered {call.bound_sql!r} within the deadline "
                 f"(timed out: {keys})",
                 deadline=deadline or 0.0,
             )
@@ -421,28 +554,29 @@ class DiverseServer:
 
     def _execute_compared(
         self,
-        sql: str,
+        call: StatementCall,
         active: list[Replica],
         is_write: bool,
         policy: str,
         verdict: Optional[StatementVerdict] = None,
+        fast_unanimous: bool = False,
     ) -> Result:
         answers: list[ReplicaAnswer] = []
         crashed: list[Replica] = []
         for replica in active:
-            answer = self._ask_with_crash_retry(replica, sql)
+            answer = self._ask_with_crash_retry(replica, call)
             if answer.status == "crash":
                 crashed.append(replica)
             else:
                 answers.append(answer)
         for replica in crashed:
             self._handle_crash(replica)
-        answers, timed_out = self._enforce_deadline(sql, answers, is_write, verdict)
+        answers, timed_out = self._enforce_deadline(call, answers, is_write, verdict)
         if not answers:
             if timed_out:
                 keys = ", ".join(answer.replica for answer in timed_out)
                 raise StatementTimeout(
-                    f"no replica answered {sql!r} within the deadline "
+                    f"no replica answered {call.bound_sql!r} within the deadline "
                     f"(timed out: {keys})",
                     deadline=self.statement_deadline or 0.0,
                 )
@@ -458,10 +592,17 @@ class DiverseServer:
         ordered = not (verdict is not None and verdict.multiset_comparable)
         if not ordered:
             self.stats.multiset_comparisons += 1
+        if fast_unanimous and self._raw_unanimous(answers):
+            # Batch fast path: every replica returned identical bytes,
+            # which implies an identical vote under any normalization
+            # and ordering — skip the comparator, same outcome.
+            self.stats.unanimous += 1
+            self.stats.batch_fast_votes += 1
+            return answers[0].unwrap()
         comparison = self.comparator.compare(answers, ordered=ordered)
         if comparison.unanimous:
             self.stats.unanimous += 1
-            return self._answer_to_result(comparison.largest[0])
+            return comparison.largest[0].unwrap()
 
         self.stats.disagreements_detected += 1
         if policy == "monitor":
@@ -469,12 +610,18 @@ class DiverseServer:
             # ongoing basis which architecture is giving the best
             # trade-off"): log the disagreement, answer from the largest
             # agreeing group, never interrupt service.
-            self.disagreement_log.append((sql, [g[0].replica for g in comparison.groups]))
-            return self._answer_to_result(comparison.largest[0])
+            self.disagreement_log.append(
+                (call.bound_sql, [g[0].replica for g in comparison.groups])
+            )
+            result = comparison.largest[0].unwrap()
+            result.warnings.append(
+                "replicas disagreed; answered from the largest agreeing group"
+            )
+            return result
         if policy == "compare":
             self.stats.adjudication_failures += 1
             raise AdjudicationFailure(
-                f"replicas disagree on {sql!r}: "
+                f"replicas disagree on {call.bound_sql!r}: "
                 + "; ".join(
                     f"[{', '.join(a.replica for a in group)}]" for group in comparison.groups
                 ),
@@ -484,20 +631,40 @@ class DiverseServer:
         if winners is None:
             self.stats.adjudication_failures += 1
             raise AdjudicationFailure(
-                f"no majority among replicas for {sql!r}", disagreement=comparison
+                f"no majority among replicas for {call.bound_sql!r}",
+                disagreement=comparison,
             )
         self.stats.failures_masked += 1
         winner_key = winners[0].vote_key(
             normalize=self.comparator.normalize, ordered=ordered
         )
-        for key in comparison.minority_replicas():
+        outvoted = comparison.minority_replicas()
+        for key in outvoted:
             replica = self.replica(key)
             if self._retry_matches(
-                replica, sql, is_write, winner_key, verdict, ordered
+                replica, call, is_write, winner_key, verdict, ordered
             ):
                 continue
             self._suspect(replica)
-        return self._answer_to_result(winners[0])
+        result = winners[0].unwrap()
+        result.warnings.append(
+            f"masked divergent answer(s) from: {', '.join(sorted(outvoted))}"
+        )
+        return result
+
+    @staticmethod
+    def _raw_unanimous(answers: list[ReplicaAnswer]) -> bool:
+        """True when every answer is ok and byte-identical to the first."""
+        first = answers[0]
+        if first.status != "ok":
+            return False
+        return all(
+            answer.status == "ok"
+            and answer.columns == first.columns
+            and answer.rows == first.rows
+            and answer.rowcount == first.rowcount
+            for answer in answers[1:]
+        )
 
     #: A replica answering this many times slower than the fastest peer
     #: is flagged as a performance anomaly (self-evident failure class).
@@ -519,7 +686,7 @@ class DiverseServer:
 
     def _enforce_deadline(
         self,
-        sql: str,
+        call: StatementCall,
         answers: list[ReplicaAnswer],
         is_write: bool,
         verdict: Optional[StatementVerdict] = None,
@@ -539,19 +706,19 @@ class DiverseServer:
                 continue
             replica = self.replica(answer.replica)
             retry = self._retry_within_deadline(
-                replica, sql, is_write, deadline, verdict
+                replica, call, is_write, deadline, verdict
             )
             if retry is not None:
                 responders.append(retry)
                 continue
             timed_out.append(answer)
-            self._handle_timeout(replica, sql, answer.virtual_cost, deadline)
+            self._handle_timeout(replica, call.bound_sql, answer.virtual_cost, deadline)
         return responders, timed_out
 
     def _retry_within_deadline(
         self,
         replica: Replica,
-        sql: str,
+        call: StatementCall,
         is_write: bool,
         deadline: float,
         verdict: Optional[StatementVerdict] = None,
@@ -567,7 +734,7 @@ class DiverseServer:
         self.stats.statement_retries += 1
         if is_write:
             self.stats.idempotent_write_retries += 1
-        retry = self._ask(replica, sql)
+        retry = self._ask(replica, call)
         if retry.status == "ok" and retry.virtual_cost <= deadline:
             replica.state = ReplicaState.ACTIVE
             self.stats.retries_saved += 1
@@ -598,11 +765,16 @@ class DiverseServer:
 
     # -- plumbing --------------------------------------------------------------------
 
-    def _ask(self, replica: Replica, sql: str) -> ReplicaAnswer:
+    def _ask(self, replica: Replica, call: StatementCall) -> ReplicaAnswer:
         replica.stats.statements += 1
         try:
-            translated = translate_script(sql, replica.product.descriptor)
-            result = replica.product.execute(translated)
+            if call.prepared is not None:
+                result = call.prepared._execute_on_replica(replica, call.params)
+            else:
+                translated = self.pipeline.translation(
+                    call.sql, replica.product.descriptor
+                )
+                result = replica.product.execute(translated)
         except EngineCrash:
             replica.stats.crashes += 1
             return ReplicaAnswer(replica=replica.key, status="crash")
@@ -619,20 +791,20 @@ class DiverseServer:
             result=result,
         )
 
-    def _ask_with_crash_retry(self, replica: Replica, sql: str) -> ReplicaAnswer:
+    def _ask_with_crash_retry(self, replica: Replica, call: StatementCall) -> ReplicaAnswer:
         """Ask once; on a crash, restart and retry once before giving up.
 
         Crash effects fire before the engine touches the statement, so a
         retry never double-applies a write.  A transient (Heisenbug)
         crash passes on retry and the replica is spared quarantine.
         """
-        answer = self._ask(replica, sql)
+        answer = self._ask(replica, call)
         if answer.status != "crash" or not self._statement_retry_enabled():
             return answer
         replica.state = ReplicaState.SUSPECTED
         self.stats.statement_retries += 1
         replica.product.restart()
-        retry = self._ask(replica, sql)
+        retry = self._ask(replica, call)
         if retry.status != "crash":
             replica.state = ReplicaState.ACTIVE
             self.stats.retries_saved += 1
@@ -641,7 +813,7 @@ class DiverseServer:
     def _retry_matches(
         self,
         replica: Replica,
-        sql: str,
+        call: StatementCall,
         is_write: bool,
         winner_key: tuple,
         verdict: Optional[StatementVerdict] = None,
@@ -656,7 +828,7 @@ class DiverseServer:
         self.stats.statement_retries += 1
         if is_write:
             self.stats.idempotent_write_retries += 1
-        retry = self._ask(replica, sql)
+        retry = self._ask(replica, call)
         if (
             retry.status != "crash"
             and retry.vote_key(normalize=self.comparator.normalize, ordered=ordered)
@@ -687,14 +859,6 @@ class DiverseServer:
             and verdict is not None
             and verdict.access.reexecution_safe
         )
-
-    @staticmethod
-    def _answer_to_result(answer: ReplicaAnswer) -> Result:
-        if answer.status == "error":
-            # All replicas agreed the statement is an error: this is the
-            # *correct* behaviour (e.g. a genuine constraint violation).
-            raise SqlError(answer.error)
-        return answer.result
 
     def _handle_crash(self, replica: Replica) -> None:
         self.stats.replica_crashes += 1
@@ -787,15 +951,98 @@ class DiverseServer:
         return len(self.active_replicas()) / len(self.replicas)
 
 
+class PreparedStatement:
+    """A statement prepared once against every replica of a
+    :class:`DiverseServer`: parsed, analyzed, and dialect-translated up
+    front, then executed many times with bound parameters.
+
+    Per-replica engine handles are cached keyed on the pipeline's
+    schema generation, so DDL transparently re-prepares.  Adjudication,
+    supervision, deadlines, and the write log behave exactly as for
+    :meth:`DiverseServer.execute` of the equivalent literal statement —
+    the write log records the literal-substituted text, so recovery
+    replay is parameter-free.
+    """
+
+    def __init__(self, server: DiverseServer, sql: str) -> None:
+        self._server = server
+        self.sql = sql
+        self.statement, self.traits, self.param_count = server.pipeline.parsed(sql)
+        self._positions = placeholder_positions(sql)
+        #: replica key -> (pipeline generation, engine-prepared handle)
+        self._handles: dict[str, tuple[int, EnginePrepared]] = {}
+
+    def execute(self, params: Sequence[Any] = ()) -> Result:
+        """One adjudicated execution with positional parameter values."""
+        return self._execute(tuple(params), fast_unanimous=False)
+
+    def executemany(self, rows: Iterable[Sequence[Any]]) -> list[Result]:
+        """Execute once per parameter tuple — one adjudication round
+        for the batch.  Each row charges one supervisor tick (deadline
+        and quarantine semantics are per-row); a full comparator vote
+        runs only on rows where the replicas diverge, the rest settle
+        on raw answer equality."""
+        self._server.stats.batches += 1
+        results: list[Result] = []
+        for row in rows:
+            self._server.stats.batched_statements += 1
+            results.append(self._execute(tuple(row), fast_unanimous=True))
+        return results
+
+    def _execute(self, params: tuple, fast_unanimous: bool) -> Result:
+        if len(params) != self.param_count:
+            raise MiddlewareError(
+                f"statement takes {self.param_count} parameter(s), "
+                f"{len(params)} given"
+            )
+        bound_sql = (
+            splice_params(self.sql, self._positions, params) if params else self.sql
+        )
+        call = StatementCall(
+            sql=self.sql, bound_sql=bound_sql, params=params, prepared=self
+        )
+        return self._server._execute_bound(
+            call, self.statement, self.traits, fast_unanimous=fast_unanimous
+        )
+
+    def _execute_on_replica(self, replica: Replica, params: tuple) -> Result:
+        """Run on one replica through its cached engine handle,
+        (re)preparing when the schema generation moved."""
+        generation = self._server.pipeline.generation
+        entry = self._handles.get(replica.key)
+        if entry is None or entry[0] != generation:
+            translated = self._server.pipeline.translation(
+                self.sql, replica.product.descriptor
+            )
+            entry = (generation, replica.product.prepare(translated))
+            self._handles[replica.key] = entry
+        return entry[1].execute(params)
+
+
 def replicated_server(
-    factory, count: int = 2, *, adjudication: str = "majority", **kwargs
+    factory,
+    count: int = 2,
+    *,
+    config: Optional[ServerConfig] = None,
+    adjudication: Optional[str] = None,
+    **kwargs,
 ) -> DiverseServer:
     """A *non-diverse* replicated server: ``count`` identical copies of
     one product (the conventional configuration the paper argues
     against).  Identical copies share identical faults, so coincident
     wrong answers win the vote — the comparison baseline in benchmarks.
+
+    Accepts a :class:`ServerConfig` (``allow_duplicates`` is forced on)
+    or the equivalent individual keywords.
     """
     replicas = [factory() for _ in range(count)]
-    return DiverseServer(
-        replicas, adjudication=adjudication, allow_duplicates=True, **kwargs
-    )
+    if config is not None:
+        if kwargs or adjudication is not None:
+            raise MiddlewareError(
+                "pass either config= or individual settings, not both"
+            )
+        config = ServerConfig(**{**config.__dict__, "allow_duplicates": True})
+        return DiverseServer(replicas, config=config)
+    if adjudication is not None:
+        kwargs["adjudication"] = adjudication
+    return DiverseServer(replicas, allow_duplicates=True, **kwargs)

@@ -37,7 +37,6 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING, Optional
 
-from repro.dialects.translator import translate_script
 from repro.errors import EngineCrash, ReproError, SqlError
 from repro.faults.audit import TimeoutAuditEntry
 from repro.sqlengine.engine import EngineSnapshot
@@ -377,7 +376,10 @@ class ReplicaSupervisor:
         try:
             for sql in tail:
                 try:
-                    result = product.execute(translate_script(sql, product.descriptor))
+                    translated = self._server.pipeline.translation(
+                        sql, product.descriptor
+                    )
+                    result = product.execute(translated)
                 except SqlError:
                     continue  # statements that legitimately error replay as errors
                 if deadline is not None and result.virtual_cost > deadline:

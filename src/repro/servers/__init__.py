@@ -6,7 +6,7 @@ Each :class:`~repro.servers.product.ServerProduct` wraps one
 holding that product's seeded fault catalog.
 """
 
-from repro.servers.product import ServerProduct
+from repro.servers.product import ServerProduct, SqlServer
 from repro.servers.registry import (
     make_all_servers,
     make_interbase,
@@ -18,6 +18,7 @@ from repro.servers.registry import (
 
 __all__ = [
     "ServerProduct",
+    "SqlServer",
     "make_all_servers",
     "make_interbase",
     "make_mssql",

@@ -7,7 +7,7 @@ from typing import Iterable
 from repro.dialects.features import DialectDescriptor
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import FaultSpec
-from repro.sqlengine.engine import Connection, Engine, Result
+from repro.sqlengine.engine import Connection, Engine, EnginePrepared, Result
 
 
 class ServerProduct:
@@ -69,6 +69,13 @@ class ServerProduct:
     def execute_script(self, sql: str) -> list[Result]:
         return self.engine.execute_script(sql)
 
+    def prepare(self, sql: str) -> EnginePrepared:
+        """Parse one statement (``?`` placeholders allowed) once; the
+        returned handle executes it with bound parameters.  Dialect
+        validation and fault injection run per execution, exactly as
+        for :meth:`execute` of the equivalent literal statement."""
+        return self.engine.prepare(sql)
+
     def connect(self) -> Connection:
         """Open a DB-API-flavoured connection (black-box client API)."""
         return Connection(self.engine)
@@ -107,6 +114,11 @@ class ServerProduct:
 
     def fired_faults(self) -> set[str]:
         return self.injector.fired_fault_ids
+
+
+#: Public alias: a ServerProduct *is* the single-server SQL surface
+#: (execute / prepare / connect), mirroring DiverseServer's API.
+SqlServer = ServerProduct
 
 
 def clone_pristine(server: ServerProduct) -> ServerProduct:

@@ -15,6 +15,15 @@ The public surface is:
   by the dialect translator and feature extractor.
 """
 
-from repro.sqlengine.engine import Connection, Engine, Result
+from repro.sqlengine.engine import Connection, Engine, EnginePrepared, Result
+from repro.sqlengine.params import count_placeholders, render_param, substitute_params
 
-__all__ = ["Connection", "Engine", "Result"]
+__all__ = [
+    "Connection",
+    "Engine",
+    "EnginePrepared",
+    "Result",
+    "count_placeholders",
+    "render_param",
+    "substitute_params",
+]

@@ -16,7 +16,8 @@ Tag vocabulary (stable, part of the public API):
 ``set.<op>``               union/intersect/except (+ ``set.union_all``)
 ``subquery.<where>``       in/exists/scalar/derived
 ``clause.<name>``          distinct/group_by/having/order_by/limit/case/cast/
-                           like/between/default/check/primary_key/unique
+                           like/between/default/check/primary_key/unique/
+                           parameter (a ``?`` placeholder)
 ``fn.<NAME>``              scalar function calls
 ``agg.<NAME>``             aggregate calls
 ``op.<name>``              modulo (%), concat (||)
@@ -236,6 +237,8 @@ def _walk_expression(expr: ast.Expression, traits: StatementTraits) -> None:
                 traits.tags.add("op.modulo")
             elif node.op == "||":
                 traits.tags.add("op.concat")
+        elif isinstance(node, ast.Parameter):
+            traits.tags.add("clause.parameter")
         elif isinstance(node, ast.CaseExpr):
             traits.tags.add("clause.case")
         elif isinstance(node, ast.CastExpr):

@@ -33,6 +33,12 @@ class Literal(Expression):
 class ColumnRef(Expression):
     name: str
     table: Optional[str] = None  # qualifier, if written as t.col
+    #: Case-folded (name, qualifier) — the resolution-map key.  Derived
+    #: once here so per-row lookups skip the str.lower() calls.
+    key: tuple = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.key = (self.name.lower(), self.table.lower() if self.table else None)
 
     @property
     def qualified(self) -> str:
@@ -44,6 +50,17 @@ class Star(Expression):
     """``*`` or ``t.*`` in a select list or COUNT(*)."""
 
     table: Optional[str] = None
+
+
+@dataclass
+class Parameter(Expression):
+    """A ``?`` placeholder, bound to a value at execute time.
+
+    ``index`` is the zero-based ordinal of the placeholder in statement
+    text order; prepared statements bind positionally.
+    """
+
+    index: int
 
 
 @dataclass

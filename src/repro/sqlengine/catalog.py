@@ -57,6 +57,19 @@ class TableSchema:
     def column_names(self) -> list[str]:
         return [column.name for column in self.columns]
 
+    def clone(self) -> "TableSchema":
+        """An independent copy for snapshots.  The container lists are
+        copied (ALTER TABLE appends/pops on them); the ColumnDef and
+        expression objects they hold are never mutated in place, so
+        sharing them is safe and keeps checkpoints cheap."""
+        return TableSchema(
+            name=self.name,
+            columns=list(self.columns),
+            primary_key=list(self.primary_key),
+            unique_sets=[list(unique) for unique in self.unique_sets],
+            checks=list(self.checks),
+        )
+
 
 @dataclass
 class ViewDef:
@@ -90,6 +103,28 @@ class Catalog:
         self._tables: dict[str, TableSchema] = {}
         self._views: dict[str, ViewDef] = {}
         self._indexes: dict[str, IndexDef] = {}
+        #: Monotonic counter bumped on every schema change.  Prepared-
+        #: statement caches key derived artifacts (analysis verdicts,
+        #: translations) on this so DDL invalidates them.
+        self.generation: int = 0
+
+    def bump(self) -> None:
+        """Record a schema change made outside the add/drop helpers
+        (ALTER TABLE mutates a TableSchema in place)."""
+        self.generation += 1
+
+    def clone(self) -> "Catalog":
+        """An independent copy for snapshots (see
+        :meth:`TableSchema.clone`).  ViewDef and IndexDef objects are
+        immutable once created, so the dictionaries are copied shallowly."""
+        copied = Catalog()
+        copied._tables = {
+            key: schema.clone() for key, schema in self._tables.items()
+        }
+        copied._views = dict(self._views)
+        copied._indexes = dict(self._indexes)
+        copied.generation = self.generation
+        return copied
 
     # -- lookup ------------------------------------------------------------
 
@@ -146,11 +181,13 @@ class Catalog:
                 )
             seen.add(column.key)
         self._tables[key] = schema
+        self.generation += 1
 
     def add_view(self, view: ViewDef) -> None:
         if self.has_relation(view.name):
             raise CatalogError(f"relation {view.name!r} already exists")
         self._views[view.name.lower()] = view
+        self.generation += 1
 
     def add_index(self, index: IndexDef) -> None:
         if index.name.lower() in self._indexes:
@@ -159,6 +196,7 @@ class Catalog:
         for column in index.columns:
             table.column_index(column)  # raises if missing
         self._indexes[index.name.lower()] = index
+        self.generation += 1
 
     # -- removal -----------------------------------------------------------
 
@@ -173,11 +211,13 @@ class Catalog:
             del self._tables[key]
             for index_name in [n for n, ix in self._indexes.items() if ix.table.lower() == key]:
                 del self._indexes[index_name]
+            self.generation += 1
             return "table"
         if key in self._views:
             if not allow_view:
                 raise CatalogError(f"{name!r} is a view; use DROP VIEW")
             del self._views[key]
+            self.generation += 1
             return "view"
         raise CatalogError(f"table {name!r} does not exist")
 
@@ -188,15 +228,18 @@ class Catalog:
                 raise CatalogError(f"{name!r} is a table; use DROP TABLE")
             raise CatalogError(f"view {name!r} does not exist")
         del self._views[key]
+        self.generation += 1
 
     def drop_index(self, name: str) -> None:
         key = name.lower()
         if key not in self._indexes:
             raise CatalogError(f"index {name!r} does not exist")
         del self._indexes[key]
+        self.generation += 1
 
     def clear(self) -> None:
         """Remove every schema object (used by server reset/recovery)."""
         self._tables.clear()
         self._views.clear()
         self._indexes.clear()
+        self.generation += 1

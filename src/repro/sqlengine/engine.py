@@ -10,7 +10,6 @@ sharing one correct engine.
 
 from __future__ import annotations
 
-import copy
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -27,7 +26,7 @@ from repro.sqlengine.analysis import StatementTraits, extract_traits
 from repro.sqlengine.catalog import Catalog, ColumnDef, IndexDef, TableSchema, ViewDef
 from repro.sqlengine.executor import QueryResult, SelectExecutor
 from repro.sqlengine.expressions import ColumnBinding, Environment
-from repro.sqlengine.parser import parse_script
+from repro.sqlengine.parser import parse_prepared, parse_script
 from repro.sqlengine.storage import Storage
 from repro.sqlengine.transactions import TransactionManager
 from repro.sqlengine.typenames import resolve_type
@@ -47,6 +46,10 @@ class Result:
     #: faults inflate this; the study classifier compares it against a
     #: threshold instead of wall-clock time so benchmarks stay fast.
     virtual_cost: float = 1.0
+    #: Advisory notes attached by whoever produced the result — the
+    #: middleware records masked disagreements and degraded adjudication
+    #: here.  Part of the unified result surface; never affects voting.
+    warnings: list[str] = field(default_factory=list)
 
     def scalar(self) -> Any:
         """First column of the first row (convenience for tests)."""
@@ -58,11 +61,20 @@ class Result:
 class ExecutionContext:
     """Everything a fault trigger may inspect about the current statement."""
 
-    def __init__(self, engine: "Engine", sql: str, statement: ast.Statement) -> None:
+    def __init__(
+        self,
+        engine: "Engine",
+        sql: str,
+        statement: ast.Statement,
+        params: tuple = (),
+        traits: Optional[StatementTraits] = None,
+    ) -> None:
         self.engine = engine
         self.sql = sql
         self.statement = statement
-        self.traits: StatementTraits = extract_traits(statement)
+        #: Positional values bound to ``?`` placeholders for this execution.
+        self.params = params
+        self.traits: StatementTraits = traits if traits is not None else extract_traits(statement)
         #: Tags discovered only at run time (e.g. ``view.distinct_used``
         #: when a referenced relation turned out to be a DISTINCT view).
         self.dynamic_tags: set[str] = set()
@@ -111,6 +123,9 @@ class NullInjector:
 
 StatementValidator = Callable[[ast.Statement, StatementTraits], None]
 
+#: Upper bound on memoized prepared handles per engine; evicts oldest.
+_PREPARED_CACHE_SIZE = 512
+
 
 class Engine:
     """One in-memory SQL database instance."""
@@ -132,6 +147,13 @@ class Engine:
         #: 'serve' normally; 'recover' while the middleware replays the
         #: write log onto this engine (recovery-scoped faults key on it).
         self.phase = "serve"
+        self._prepared: dict[str, EnginePrepared] = {}
+        #: table key -> (schema generation, uniqueness constraint sets).
+        self._unique_sets: dict[str, tuple[int, list]] = {}
+        #: (table key, constraint indices) -> (schema generation,
+        #: storage version, set of existing key tuples).  Makes the
+        #: uniqueness probe for a plain INSERT O(1) instead of a scan.
+        self._unique_keys: dict[tuple[str, tuple[int, ...]], tuple[int, int, set]] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -140,6 +162,8 @@ class Engine:
         self.transactions.abort_if_open()
         self.catalog.clear()
         self.storage.clear()
+        self._unique_sets.clear()
+        self._unique_keys.clear()
         self.crashed = False
 
     def restart(self) -> None:
@@ -150,16 +174,20 @@ class Engine:
     def snapshot(self) -> EngineSnapshot:
         """Capture the full durable state (schema + rows)."""
         return EngineSnapshot(
-            catalog=copy.deepcopy(self.catalog),
-            storage=copy.deepcopy(self.storage),
+            catalog=self.catalog.clone(),
+            storage=self.storage.clone(),
         )
 
     def restore(self, snapshot: EngineSnapshot) -> None:
         """Replace the engine's state with a snapshot's; clears crash
         state.  The snapshot is copied, so it can be restored again."""
         self.transactions.abort_if_open()
-        self.catalog = copy.deepcopy(snapshot.catalog)
-        self.storage = copy.deepcopy(snapshot.storage)
+        self.catalog = snapshot.catalog.clone()
+        self.storage = snapshot.storage.clone()
+        # A restore rewinds the generation counter, so generation-keyed
+        # caches cannot be trusted across it.
+        self._unique_sets.clear()
+        self._unique_keys.clear()
         self.crashed = False
 
     # -- execution -----------------------------------------------------------
@@ -176,8 +204,33 @@ class Engine:
         statements = parse_script(sql)
         return [self._execute_statement(stmt, sql) for stmt in statements]
 
-    def _execute_statement(self, stmt: ast.Statement, sql: str) -> Result:
-        ctx = ExecutionContext(self, sql, stmt)
+    def prepare(self, sql: str) -> "EnginePrepared":
+        """Parse ``sql`` (one statement, ``?`` placeholders allowed) once
+        and return a handle that executes it with bound parameters.
+
+        Handles are memoized per statement text: preparing the same text
+        twice returns the cached handle.  Parsing is schema-independent,
+        so the cache never needs DDL invalidation — name binding happens
+        at execute time against the live catalog.
+        """
+        handle = self._prepared.get(sql)
+        if handle is None:
+            statement, param_count = parse_prepared(sql)
+            traits = extract_traits(statement)
+            handle = EnginePrepared(self, sql, statement, param_count, traits)
+            if len(self._prepared) >= _PREPARED_CACHE_SIZE:
+                self._prepared.pop(next(iter(self._prepared)))
+            self._prepared[sql] = handle
+        return handle
+
+    def _execute_statement(
+        self,
+        stmt: ast.Statement,
+        sql: str,
+        params: tuple = (),
+        traits: Optional[StatementTraits] = None,
+    ) -> Result:
+        ctx = ExecutionContext(self, sql, stmt, params=params, traits=traits)
         if self.statement_validator is not None:
             self.statement_validator(stmt, ctx.traits)
         try:
@@ -273,6 +326,7 @@ class Engine:
             pending.append(row)
         for row in pending:
             stored = data.insert(row)
+            self._note_inserted(schema, data, stored)
             inserted.append(stored)
             self.transactions.record(lambda r=stored, d=data: d.remove_row(r))
         return Result(kind="dml", rowcount=len(inserted))
@@ -330,7 +384,17 @@ class Engine:
                 )
 
     def _unique_column_sets(self, schema: TableSchema) -> list[tuple[list[int], bool]]:
-        """(column indices, is_primary) for each uniqueness constraint."""
+        """(column indices, is_primary) for each uniqueness constraint.
+
+        Cached per table and schema generation: every inserted or
+        updated row consults this, and the constraint structure only
+        changes on DDL.  The cache is cleared on reset/restore because
+        a restore can rewind the generation counter.
+        """
+        table_key = schema.name.lower()
+        cached = self._unique_sets.get(table_key)
+        if cached is not None and cached[0] == self.catalog.generation:
+            return cached[1]
         sets: list[tuple[list[int], bool]] = []
         if schema.primary_key:
             sets.append(([schema.column_index(c) for c in schema.primary_key], True))
@@ -341,6 +405,7 @@ class Engine:
                 sets.append(
                     ([schema.column_index(c) for c in index_def.columns], False)
                 )
+        self._unique_sets[table_key] = (self.catalog.generation, sets)
         return sets
 
     def _check_uniqueness(
@@ -352,6 +417,7 @@ class Engine:
         pending: list[list[Any]] = (),
         skip: Optional[list[Any]] = None,
     ) -> None:
+        plain_insert = skip is None and not pending
         for indices, is_primary in self._unique_column_sets(schema):
             values = [row[i] for i in indices]
             if any(value is None for value in values):
@@ -361,6 +427,15 @@ class Engine:
                     )
                 continue  # SQL UNIQUE ignores NULLs
             key = row_key(tuple(values))
+            if plain_insert:
+                # A new row checked against the table alone: probe the
+                # maintained key set instead of scanning the heap.
+                if key in self._unique_keyset(schema, data, indices):
+                    label = "primary key" if is_primary else "unique"
+                    raise ConstraintViolation(
+                        f"{label} constraint violated on {schema.name!r}"
+                    )
+                continue
             for existing in itertools.chain(data.rows(), pending):
                 if existing is row or existing is skip:
                     continue
@@ -369,6 +444,42 @@ class Engine:
                     raise ConstraintViolation(
                         f"{label} constraint violated on {schema.name!r}"
                     )
+
+    def _unique_keyset(self, schema: TableSchema, data, indices: list[int]) -> set:
+        """The set of existing key tuples for one uniqueness constraint.
+
+        Validity is guarded by both the schema generation (DDL changes
+        the constraint structure) and the storage version (any heap
+        mutation).  Plain INSERTs keep the set current incrementally
+        via :meth:`_note_inserted`; every other mutation just stales it
+        and the next probe rebuilds.
+        """
+        cache_key = (schema.name.lower(), tuple(indices))
+        generation = self.catalog.generation
+        entry = self._unique_keys.get(cache_key)
+        if entry is not None and entry[0] == generation and entry[1] == data.version:
+            return entry[2]
+        keyset = set()
+        for existing in data.rows():
+            values = [existing[i] for i in indices]
+            if any(value is None for value in values):
+                continue  # NULLs never collide (SQL UNIQUE semantics)
+            keyset.add(row_key(tuple(values)))
+        self._unique_keys[cache_key] = (generation, data.version, keyset)
+        return keyset
+
+    def _note_inserted(self, schema: TableSchema, data, row: list[Any]) -> None:
+        """Fold a just-inserted row into any current unique key sets."""
+        generation = self.catalog.generation
+        for indices, _ in self._unique_column_sets(schema):
+            cache_key = (schema.name.lower(), tuple(indices))
+            entry = self._unique_keys.get(cache_key)
+            if entry is None or entry[0] != generation or entry[1] != data.version - 1:
+                continue  # stale anyway; next probe rebuilds
+            values = [row[i] for i in indices]
+            if not any(value is None for value in values):
+                entry[2].add(row_key(tuple(values)))
+            self._unique_keys[cache_key] = (generation, data.version, entry[2])
 
     def _execute_update(self, stmt: ast.Update, ctx: ExecutionContext) -> Result:
         schema = self.catalog.table(stmt.table)
@@ -379,8 +490,11 @@ class Engine:
             (schema.column_index(name), expr) for name, expr in stmt.assignments
         ]
         updated = 0
+        # One environment reused across the scan; every expression read
+        # finishes before the row is patched, so the live row is safe.
+        env = Environment(columns, ())
         for row in data.rows():
-            env = Environment(columns, tuple(row))
+            env.row = row
             if stmt.where is not None and not executor.evaluator.truthy(stmt.where, env):
                 continue
             new_values: dict[int, Any] = {}
@@ -396,10 +510,15 @@ class Engine:
             self._check_uniqueness(schema, data, candidate, skip=row)
             for index, value in new_values.items():
                 row[index] = value
+            data.touch()  # in-place patch: invalidate version-keyed caches
             updated += 1
-            self.transactions.record(
-                lambda r=row, old=old_values: [r.__setitem__(i, v) for i, v in old.items()]
-            )
+
+            def undo(r=row, old=old_values, d=data):
+                for i, v in old.items():
+                    r[i] = v
+                d.touch()
+
+            self.transactions.record(undo)
         return Result(kind="dml", rowcount=updated)
 
     def _execute_delete(self, stmt: ast.Delete, ctx: ExecutionContext) -> Result:
@@ -408,10 +527,12 @@ class Engine:
         executor = SelectExecutor(self, ctx)
         columns = [ColumnBinding(schema.name, column.name) for column in schema.columns]
 
+        env = Environment(columns, ())
+
         def matches(row: list[Any]) -> bool:
             if stmt.where is None:
                 return True
-            env = Environment(columns, tuple(row))
+            env.row = row
             return executor.evaluator.truthy(stmt.where, env)
 
         removed = data.delete_rows(matches)
@@ -584,15 +705,59 @@ class Engine:
             )
         schema.columns.append(column)
         data.add_column(fill)
+        self.catalog.bump()
 
         def undo() -> None:
             schema.columns.pop()
             data.column_count -= 1
             for row in data.rows():
                 row.pop()
+            self.catalog.bump()
 
         self.transactions.record(undo)
         return Result(kind="ddl")
+
+
+class EnginePrepared:
+    """A statement parsed once, executable many times with bound params.
+
+    Obtained from :meth:`Engine.prepare`.  The parsed AST and extracted
+    traits are reused across executions; parameters are bound at
+    evaluation time through :attr:`ExecutionContext.params`, so the
+    cached tree is never mutated.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        sql: str,
+        statement: ast.Statement,
+        param_count: int,
+        traits: StatementTraits,
+    ) -> None:
+        self._engine = engine
+        self.sql = sql
+        self.statement = statement
+        self.param_count = param_count
+        self.traits = traits
+
+    def execute(self, params: tuple = ()) -> Result:
+        """Execute with positional values for the ``?`` placeholders."""
+        if self._engine.crashed:
+            raise EngineCrash(self._engine.name, "engine is down (previous crash)")
+        bound = tuple(params)
+        if len(bound) != self.param_count:
+            raise SqlError(
+                f"statement takes {self.param_count} parameter(s), "
+                f"{len(bound)} given"
+            )
+        return self._engine._execute_statement(
+            self.statement, self.sql, params=bound, traits=self.traits
+        )
+
+    def executemany(self, rows) -> list[Result]:
+        """Execute once per parameter tuple, in order."""
+        return [self.execute(row) for row in rows]
 
 
 class Connection:

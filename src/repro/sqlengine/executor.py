@@ -125,8 +125,11 @@ class SelectExecutor:
 
         if core.where is not None:
             kept = []
+            # One environment reused across the scan (only its row slot
+            # changes); nothing retains it past each predicate call.
+            env = Environment(relation.columns, (), outer=outer_env)
             for row in relation.rows:
-                env = Environment(relation.columns, row, outer=outer_env)
+                env.row = row
                 if self.evaluator.truthy(core.where, env):
                     kept.append(row)
             relation = Relation(relation.columns, kept)

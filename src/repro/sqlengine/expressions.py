@@ -47,6 +47,42 @@ class ColumnBinding:
         return self.label.lower() == table.lower()
 
 
+#: Sentinel stored in a resolution map for references matching more than
+#: one column (looking them up is an error, not a miss).
+_AMBIGUOUS = -1
+
+#: Resolution maps keyed on the identity of a column-binding list.  The
+#: executor builds one binding list per scanned relation and then one
+#: Environment per row, so resolving each (name, table) reference against
+#: the bindings once per relation — instead of once per row per reference
+#: — takes the scan's predicate evaluation from O(rows x width) lookups
+#: to O(rows).  Entries hold a strong reference to the binding list so
+#: the id key cannot be reused while the entry is alive; the cache is
+#: bounded by eviction in insertion order.
+_RESOLUTIONS: dict[int, tuple[Sequence["ColumnBinding"], dict]] = {}
+_RESOLUTION_CACHE_SIZE = 256
+
+
+def _resolution_map(columns: Sequence["ColumnBinding"]) -> dict:
+    cached = _RESOLUTIONS.get(id(columns))
+    if cached is not None and cached[0] is columns:
+        return cached[1]
+    resolution: dict = {}
+    for index, column in enumerate(columns):
+        for key in (
+            (column.name.lower(), None),
+            (column.name.lower(), column.label.lower()),
+        ):
+            if key in resolution and resolution[key] != index:
+                resolution[key] = _AMBIGUOUS
+            else:
+                resolution[key] = index
+    if len(_RESOLUTIONS) >= _RESOLUTION_CACHE_SIZE:
+        _RESOLUTIONS.pop(next(iter(_RESOLUTIONS)))
+    _RESOLUTIONS[id(columns)] = (columns, resolution)
+    return resolution
+
+
 class Environment:
     """Column values visible while evaluating one row.
 
@@ -65,19 +101,35 @@ class Environment:
         self.row = row
         self.outer = outer
         self.aggregates = aggregates or {}
+        self._resolution: Optional[dict] = None
 
     def lookup(self, name: str, table: Optional[str]) -> Any:
-        matches = [
-            index for index, column in enumerate(self.columns) if column.matches(name, table)
-        ]
-        if len(matches) > 1:
-            raise BindError(f"ambiguous column reference {name!r}")
-        if matches:
-            return self.row[matches[0]]
+        resolution = self._resolution
+        if resolution is None:
+            resolution = self._resolution = _resolution_map(self.columns)
+        index = resolution.get((name.lower(), table.lower() if table else None))
+        if index is not None:
+            if index == _AMBIGUOUS:
+                raise BindError(f"ambiguous column reference {name!r}")
+            return self.row[index]
         if self.outer is not None:
             return self.outer.lookup(name, table)
         qualified = f"{table}.{name}" if table else name
         raise BindError(f"unknown column {qualified!r}")
+
+    def lookup_ref(self, ref: ast.ColumnRef) -> Any:
+        """:meth:`lookup` against a ColumnRef's pre-folded key."""
+        resolution = self._resolution
+        if resolution is None:
+            resolution = self._resolution = _resolution_map(self.columns)
+        index = resolution.get(ref.key)
+        if index is not None:
+            if index == _AMBIGUOUS:
+                raise BindError(f"ambiguous column reference {ref.name!r}")
+            return self.row[index]
+        if self.outer is not None:
+            return self.outer.lookup_ref(ref)
+        raise BindError(f"unknown column {ref.qualified!r}")
 
     def aggregate_value(self, node: ast.FunctionCall) -> Any:
         try:
@@ -106,13 +158,29 @@ class Evaluator:
     def __init__(self, ctx, subquery_runner: Optional[SubqueryRunner] = None) -> None:
         self._ctx = ctx
         self._run_subquery = subquery_runner
+        self._dispatch: dict[type, Any] = {}
 
     # -- public ------------------------------------------------------------
 
     def evaluate(self, expr: ast.Expression, env: Optional[Environment]) -> Any:
-        method = getattr(self, f"_eval_{type(expr).__name__.lower()}", None)
+        node_type = type(expr)
+        # Leaf fast paths: column references and literals are the vast
+        # majority of nodes, and every predicate touches them once per
+        # row — skip the dispatch indirection for them.
+        if node_type is ast.ColumnRef:
+            if env is None:
+                raise BindError(
+                    f"column {expr.qualified!r} used where no row is available"
+                )
+            return env.lookup_ref(expr)
+        if node_type is ast.Literal:
+            return expr.value
+        method = self._dispatch.get(node_type)
         if method is None:
-            raise BindError(f"cannot evaluate {type(expr).__name__}")
+            method = getattr(self, f"_eval_{node_type.__name__.lower()}", None)
+            if method is None:
+                raise BindError(f"cannot evaluate {node_type.__name__}")
+            self._dispatch[node_type] = method
         return method(expr, env)
 
     def truthy(self, expr: ast.Expression, env: Optional[Environment]) -> bool:
@@ -123,6 +191,15 @@ class Evaluator:
 
     def _eval_literal(self, expr: ast.Literal, env) -> Any:
         return expr.value
+
+    def _eval_parameter(self, expr: ast.Parameter, env) -> Any:
+        params = getattr(self._ctx, "params", ())
+        if expr.index >= len(params):
+            raise BindError(
+                f"statement parameter {expr.index + 1} is not bound "
+                f"({len(params)} value(s) supplied)"
+            )
+        return params[expr.index]
 
     def _eval_columnref(self, expr: ast.ColumnRef, env: Optional[Environment]) -> Any:
         if env is None:
@@ -142,8 +219,24 @@ class Evaluator:
             return tri_or(
                 self._as_tribool(expr.left, env), self._as_tribool(expr.right, env)
             )
-        left = self.evaluate(expr.left, env)
-        right = self.evaluate(expr.right, env)
+        # Operands are almost always column references or literals;
+        # fetch those directly instead of recursing through evaluate().
+        node = expr.left
+        node_type = type(node)
+        if node_type is ast.ColumnRef and env is not None:
+            left = env.lookup_ref(node)
+        elif node_type is ast.Literal:
+            left = node.value
+        else:
+            left = self.evaluate(node, env)
+        node = expr.right
+        node_type = type(node)
+        if node_type is ast.ColumnRef and env is not None:
+            right = env.lookup_ref(node)
+        elif node_type is ast.Literal:
+            right = node.value
+        else:
+            right = self.evaluate(node, env)
         if op == "+":
             return sql_add(left, right)
         if op == "-":
@@ -162,14 +255,17 @@ class Evaluator:
             cmp = sql_compare(left, right)
             if cmp is None:
                 return None
-            return {
-                "=": cmp == 0,
-                "<>": cmp != 0,
-                "<": cmp < 0,
-                "<=": cmp <= 0,
-                ">": cmp > 0,
-                ">=": cmp >= 0,
-            }[op]
+            if op == "=":
+                return cmp == 0
+            if op == "<>":
+                return cmp != 0
+            if op == "<":
+                return cmp < 0
+            if op == "<=":
+                return cmp <= 0
+            if op == ">":
+                return cmp > 0
+            return cmp >= 0
         raise BindError(f"unknown operator {op!r}")  # pragma: no cover
 
     def _as_tribool(self, expr: ast.Expression, env) -> Optional[bool]:

@@ -28,6 +28,9 @@ class Parser:
     def __init__(self, text: str) -> None:
         self._tokens = tokenize(text)
         self._index = 0
+        #: Number of ``?`` placeholders seen so far; doubles as the
+        #: zero-based ordinal assigned to the next one.
+        self.parameter_count = 0
 
     # -- token plumbing ----------------------------------------------------
 
@@ -407,6 +410,11 @@ class Parser:
         if token.is_keyword("FALSE"):
             self._advance()
             return ast.Literal(False)
+        if self._at_punct("?"):
+            self._advance()
+            parameter = ast.Parameter(index=self.parameter_count)
+            self.parameter_count += 1
+            return parameter
         if token.is_keyword("CAST"):
             return self._parse_cast()
         if token.is_keyword("CASE"):
@@ -740,6 +748,18 @@ def parse_statement(text: str) -> ast.Statement:
     if token.kind is not TokenKind.EOF:
         raise ParseError(f"trailing input {token.value!r} at line {token.line}")
     return statement
+
+
+def parse_prepared(text: str) -> tuple[ast.Statement, int]:
+    """Parse exactly one statement, returning it with its ``?`` count."""
+    parser = Parser(text)
+    statement = parser.parse_statement()
+    while parser._accept_punct(";"):
+        pass
+    token = parser._peek()
+    if token.kind is not TokenKind.EOF:
+        raise ParseError(f"trailing input {token.value!r} at line {token.line}")
+    return statement, parser.parameter_count
 
 
 def parse_script(text: str) -> list[ast.Statement]:

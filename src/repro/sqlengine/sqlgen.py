@@ -186,6 +186,8 @@ def render_expression(expr: ast.Expression) -> str:
         return expr.qualified
     if isinstance(expr, ast.Star):
         return "*"
+    if isinstance(expr, ast.Parameter):
+        return "?"
     if isinstance(expr, ast.BinaryOp):
         return (
             f"({render_expression(expr.left)} {expr.op} "

@@ -18,6 +18,14 @@ class TableData:
         self.name = name
         self.column_count = column_count
         self._rows: list[list[Any]] = []
+        #: Bumped on every mutation; callers that patch row lists in
+        #: place (the UPDATE path) must call :meth:`touch`.  Caches
+        #: keyed on (table, version) use it for invalidation.
+        self.version = 0
+
+    def touch(self) -> None:
+        """Record an in-place row mutation made outside these methods."""
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -30,6 +38,14 @@ class TableData:
         """An immutable copy of all rows (for resync / comparison)."""
         return [tuple(row) for row in self._rows]
 
+    def clone(self) -> "TableData":
+        """A deep, independent copy.  Row values are immutable scalars
+        (numbers, strings, dates, NULL), so copying the two list levels
+        is as deep as a copy can meaningfully go."""
+        data = TableData(self.name, self.column_count)
+        data._rows = [list(row) for row in self._rows]
+        return data
+
     def insert(self, values: Iterable[Any]) -> list[Any]:
         row = list(values)
         if len(row) != self.column_count:
@@ -37,6 +53,7 @@ class TableData:
                 f"row width {len(row)} != table width {self.column_count}"
             )
         self._rows.append(row)
+        self.version += 1
         return row
 
     def delete_rows(self, predicate: Callable[[list[Any]], bool]) -> list[tuple[int, list[Any]]]:
@@ -49,6 +66,7 @@ class TableData:
             else:
                 kept.append(row)
         self._rows = kept
+        self.version += 1
         return removed
 
     def remove_row(self, row: list[Any]) -> None:
@@ -56,6 +74,7 @@ class TableData:
         for index, candidate in enumerate(self._rows):
             if candidate is row:
                 del self._rows[index]
+                self.version += 1
                 return
         raise ValueError("row not present")  # pragma: no cover - undo invariant
 
@@ -63,16 +82,19 @@ class TableData:
         """Reinsert rows deleted by :meth:`delete_rows` at their positions."""
         for position, row in sorted(removed, key=lambda item: item[0]):
             self._rows.insert(min(position, len(self._rows)), row)
+        self.version += 1
 
     def add_column(self, default_value: Any) -> None:
         """Widen every row for ALTER TABLE ADD COLUMN."""
         self.column_count += 1
         for row in self._rows:
             row.append(default_value)
+        self.version += 1
 
     def clear(self) -> list[list[Any]]:
         """Remove all rows, returning them for undo."""
         rows, self._rows = self._rows, []
+        self.version += 1
         return rows
 
 
@@ -98,6 +120,14 @@ class Storage:
 
     def drop(self, name: str) -> Optional[TableData]:
         return self._tables.pop(name.lower(), None)
+
+    def clone(self) -> "Storage":
+        """An independent copy of every table heap (see
+        :meth:`TableData.clone`); much cheaper than ``copy.deepcopy``
+        on the checkpoint path."""
+        copied = Storage()
+        copied._tables = {key: data.clone() for key, data in self._tables.items()}
+        return copied
 
     def clear(self) -> None:
         self._tables.clear()

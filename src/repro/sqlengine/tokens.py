@@ -44,7 +44,7 @@ MULTI_CHAR_OPERATORS = ("<>", "<=", ">=", "!=", "||")
 
 SINGLE_CHAR_OPERATORS = frozenset("+-*/%<>=")
 
-PUNCTUATION = frozenset("(),.;")
+PUNCTUATION = frozenset("(),.;?")
 
 
 @dataclass(frozen=True)

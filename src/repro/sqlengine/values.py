@@ -43,6 +43,13 @@ def tri_not(value: Tribool) -> Tribool:
 
 def _comparable(value: Any) -> Any:
     """Normalise a value for cross-type comparison."""
+    # Exact-type fast paths (bool, an int subclass, stays below): ints
+    # and Decimals need no conversion — Python guarantees equal numerics
+    # hash and compare equal across int/Decimal.
+    if type(value) is int or type(value) is Decimal:
+        return ("n", value)
+    if type(value) is str:
+        return ("s", value.rstrip())
     if isinstance(value, bool):
         return ("b", int(value))
     if isinstance(value, (int, float, Decimal)):
@@ -67,6 +74,20 @@ def sql_compare(left: Any, right: Any) -> Optional[int]:
     """
     if left is None or right is None:
         return None
+    # Same-type fast paths for the overwhelmingly common cases; the
+    # exact-type checks keep bool (an int subclass) on the slow path so
+    # its distinct comparison kind is preserved.
+    if type(left) is type(right):
+        if type(left) is int or type(left) is Decimal:
+            if left < right:
+                return -1
+            return 1 if left > right else 0
+        if type(left) is str:
+            lval = left.rstrip()
+            rval = right.rstrip()
+            if lval < rval:
+                return -1
+            return 1 if lval > rval else 0
     lkind, lval = _comparable(left)
     rkind, rval = _comparable(right)
     if lkind != rkind:

@@ -1,12 +1,27 @@
-"""TPC-C-style transaction generation."""
+"""TPC-C-style transaction generation.
+
+Each transaction profile is built from a fixed *template* (SQL with
+``?`` placeholders) plus per-transaction parameter tuples.  The
+templates are what make prepared execution worthwhile: the five
+profiles reuse a handful of distinct statement shapes, so a prepared
+endpoint parses/translates/analyzes each shape once and then only
+binds values.  The literal ``statements`` list is derived from the
+same calls via :func:`repro.sqlengine.params.substitute_params`, so
+prepared and literal execution see byte-identical SQL.
+"""
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from decimal import Decimal
 from typing import Iterator
 
+from repro.sqlengine.params import substitute_params
 from repro.workload import schema
+
+#: One prepared-style call: (template with ``?`` placeholders, bound values).
+Call = tuple[str, tuple]
 
 
 @dataclass(frozen=True)
@@ -36,11 +51,31 @@ class TransactionMix:
 
 @dataclass
 class Transaction:
-    """One generated transaction: a name plus its statement list."""
+    """One generated transaction: a name plus its statement list.
+
+    ``calls`` carries the prepared form — (template, params) pairs whose
+    literal substitution reproduces ``statements`` exactly.  It is empty
+    for hand-built transactions; :meth:`prepared_calls` falls back to
+    the literal statements with no parameters in that case.
+    """
 
     name: str
     statements: list[str]
     read_only: bool
+    calls: list[Call] = field(default_factory=list)
+
+    def prepared_calls(self) -> list[Call]:
+        if self.calls:
+            return self.calls
+        return [(statement, ()) for statement in self.statements]
+
+
+def _build(name: str, calls: list[Call], *, read_only: bool) -> Transaction:
+    statements = [
+        substitute_params(template, params) if params else template
+        for template, params in calls
+    ]
+    return Transaction(name, statements, read_only, calls=calls)
 
 
 class TpccGenerator:
@@ -70,88 +105,131 @@ class TpccGenerator:
         o_id = self._next_order_id[d_id]
         self._next_order_id[d_id] += 1
         line_count = self._rng.randint(2, 5)
-        statements = [
-            "BEGIN",
-            f"SELECT c_last, c_credit FROM customer "
-            f"WHERE c_id = {c_id} AND c_d_id = {d_id} AND c_w_id = 1",
-            f"UPDATE district SET d_next_o_id = d_next_o_id + 1 "
-            f"WHERE d_id = {d_id} AND d_w_id = 1",
-            f"INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_carrier_id, o_ol_cnt) "
-            f"VALUES ({o_id}, {d_id}, 1, {c_id}, NULL, {line_count})",
+        calls: list[Call] = [
+            ("BEGIN", ()),
+            (
+                "SELECT c_last, c_credit FROM customer "
+                "WHERE c_id = ? AND c_d_id = ? AND c_w_id = 1",
+                (c_id, d_id),
+            ),
+            (
+                "UPDATE district SET d_next_o_id = d_next_o_id + 1 "
+                "WHERE d_id = ? AND d_w_id = 1",
+                (d_id,),
+            ),
+            (
+                "INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_carrier_id, "
+                "o_ol_cnt) VALUES (?, ?, 1, ?, ?, ?)",
+                (o_id, d_id, c_id, None, line_count),
+            ),
         ]
         for number in range(1, line_count + 1):
             i_id = self._item()
             quantity = self._rng.randint(1, 5)
-            statements.append(
-                f"SELECT i_price FROM item WHERE i_id = {i_id}"
+            calls.append(("SELECT i_price FROM item WHERE i_id = ?", (i_id,)))
+            calls.append(
+                (
+                    "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, "
+                    "ol_i_id, ol_quantity, ol_amount) "
+                    "VALUES (?, ?, 1, ?, ?, ?, ?)",
+                    (
+                        o_id,
+                        d_id,
+                        number,
+                        i_id,
+                        quantity,
+                        Decimal(f"{quantity * 2.50:.2f}"),
+                    ),
+                )
             )
-            statements.append(
-                f"INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, "
-                f"ol_i_id, ol_quantity, ol_amount) "
-                f"VALUES ({o_id}, {d_id}, 1, {number}, {i_id}, {quantity}, "
-                f"{quantity * 2.50:.2f})"
+            calls.append(
+                (
+                    "UPDATE stock SET s_quantity = s_quantity - ?, "
+                    "s_ytd = s_ytd + ?, s_order_cnt = s_order_cnt + 1 "
+                    "WHERE s_i_id = ? AND s_w_id = 1",
+                    (quantity, quantity, i_id),
+                )
             )
-            statements.append(
-                f"UPDATE stock SET s_quantity = s_quantity - {quantity}, "
-                f"s_ytd = s_ytd + {quantity}, s_order_cnt = s_order_cnt + 1 "
-                f"WHERE s_i_id = {i_id} AND s_w_id = 1"
-            )
-        statements.append("COMMIT")
-        return Transaction("new_order", statements, read_only=False)
+        calls.append(("COMMIT", ()))
+        return _build("new_order", calls, read_only=False)
 
     def payment(self) -> Transaction:
         d_id = self._district()
         c_id = self._customer()
         amount = round(self._rng.uniform(1.0, 500.0), 2)
-        statements = [
-            "BEGIN",
-            f"UPDATE warehouse SET w_ytd = w_ytd + {amount} WHERE w_id = 1",
-            f"UPDATE district SET d_ytd = d_ytd + {amount} "
-            f"WHERE d_id = {d_id} AND d_w_id = 1",
-            f"UPDATE customer SET c_balance = c_balance - {amount}, "
-            f"c_ytd_payment = c_ytd_payment + {amount}, "
-            f"c_payment_cnt = c_payment_cnt + 1 "
-            f"WHERE c_id = {c_id} AND c_d_id = {d_id} AND c_w_id = 1",
-            f"INSERT INTO history (h_c_id, h_d_id, h_w_id, h_amount, h_data) "
-            f"VALUES ({c_id}, {d_id}, 1, {amount}, 'PAY_{d_id}_{c_id}')",
-            "COMMIT",
+        calls: list[Call] = [
+            ("BEGIN", ()),
+            ("UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = 1", (amount,)),
+            (
+                "UPDATE district SET d_ytd = d_ytd + ? "
+                "WHERE d_id = ? AND d_w_id = 1",
+                (amount, d_id),
+            ),
+            (
+                "UPDATE customer SET c_balance = c_balance - ?, "
+                "c_ytd_payment = c_ytd_payment + ?, "
+                "c_payment_cnt = c_payment_cnt + 1 "
+                "WHERE c_id = ? AND c_d_id = ? AND c_w_id = 1",
+                (amount, amount, c_id, d_id),
+            ),
+            (
+                "INSERT INTO history (h_c_id, h_d_id, h_w_id, h_amount, h_data) "
+                "VALUES (?, ?, 1, ?, ?)",
+                (c_id, d_id, amount, f"PAY_{d_id}_{c_id}"),
+            ),
+            ("COMMIT", ()),
         ]
-        return Transaction("payment", statements, read_only=False)
+        return _build("payment", calls, read_only=False)
 
     def order_status(self) -> Transaction:
         d_id = self._district()
         c_id = self._customer()
-        statements = [
-            f"SELECT c_balance, c_last FROM customer "
-            f"WHERE c_id = {c_id} AND c_d_id = {d_id} AND c_w_id = 1",
-            f"SELECT o_id, o_carrier_id, o_ol_cnt FROM orders "
-            f"WHERE o_d_id = {d_id} AND o_w_id = 1 AND o_c_id = {c_id} "
-            f"ORDER BY o_id DESC",
-            f"SELECT ol_number, ol_i_id, ol_quantity, ol_amount FROM order_line "
-            f"WHERE ol_d_id = {d_id} AND ol_w_id = 1 ORDER BY ol_o_id DESC, ol_number",
+        calls: list[Call] = [
+            (
+                "SELECT c_balance, c_last FROM customer "
+                "WHERE c_id = ? AND c_d_id = ? AND c_w_id = 1",
+                (c_id, d_id),
+            ),
+            (
+                "SELECT o_id, o_carrier_id, o_ol_cnt FROM orders "
+                "WHERE o_d_id = ? AND o_w_id = 1 AND o_c_id = ? "
+                "ORDER BY o_id DESC",
+                (d_id, c_id),
+            ),
+            (
+                "SELECT ol_number, ol_i_id, ol_quantity, ol_amount FROM order_line "
+                "WHERE ol_d_id = ? AND ol_w_id = 1 ORDER BY ol_o_id DESC, ol_number",
+                (d_id,),
+            ),
         ]
-        return Transaction("order_status", statements, read_only=True)
+        return _build("order_status", calls, read_only=True)
 
     def delivery(self) -> Transaction:
         d_id = self._district()
         carrier = self._rng.randint(1, 10)
-        statements = [
-            "BEGIN",
-            f"UPDATE orders SET o_carrier_id = {carrier} "
-            f"WHERE o_d_id = {d_id} AND o_w_id = 1 AND o_carrier_id IS NULL",
-            "COMMIT",
+        calls: list[Call] = [
+            ("BEGIN", ()),
+            (
+                "UPDATE orders SET o_carrier_id = ? "
+                "WHERE o_d_id = ? AND o_w_id = 1 AND o_carrier_id IS NULL",
+                (carrier, d_id),
+            ),
+            ("COMMIT", ()),
         ]
-        return Transaction("delivery", statements, read_only=False)
+        return _build("delivery", calls, read_only=False)
 
     def stock_level(self) -> Transaction:
         d_id = self._district()
         threshold = self._rng.randint(10, 45)
-        statements = [
-            f"SELECT COUNT(DISTINCT s_i_id) FROM stock, order_line "
-            f"WHERE ol_d_id = {d_id} AND ol_w_id = 1 AND s_i_id = ol_i_id "
-            f"AND s_w_id = 1 AND s_quantity < {threshold}",
+        calls: list[Call] = [
+            (
+                "SELECT COUNT(DISTINCT s_i_id) FROM stock, order_line "
+                "WHERE ol_d_id = ? AND ol_w_id = 1 AND s_i_id = ol_i_id "
+                "AND s_w_id = 1 AND s_quantity < ?",
+                (d_id, threshold),
+            ),
         ]
-        return Transaction("stock_level", statements, read_only=True)
+        return _build("stock_level", calls, read_only=True)
 
     # -- stream ------------------------------------------------------------------
 

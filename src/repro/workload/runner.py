@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Protocol
+from typing import Any, Optional, Protocol
 
 from repro.errors import (
     AdjudicationFailure,
@@ -20,7 +20,13 @@ from repro.workload.schema import SCHEMA_STATEMENTS, populate_statements
 
 
 class SqlEndpoint(Protocol):
-    """Anything accepting SQL: ServerProduct, DiverseServer, Connection."""
+    """Anything accepting SQL: ServerProduct, DiverseServer, Connection.
+
+    Endpoints additionally offering ``prepare(sql)`` (ServerProduct and
+    DiverseServer both do) can be driven in prepared mode
+    (``WorkloadRunner(use_prepared=True)``), which binds each
+    transaction's parameters into statement templates prepared once.
+    """
 
     def execute(self, sql: str): ...
 
@@ -85,6 +91,13 @@ class WorkloadRunner:
     ``deadline_aborts`` / ``timed_out_statements``.  This is how a
     client notices a *hang* the endpoint cannot mask: the statement
     stream stops making progress within budget.
+
+    ``use_prepared`` drives the endpoint through its ``prepare(sql)``
+    API instead of literal SQL: each of the TPC-C statement templates is
+    prepared once (parse/translate/analyze amortized across the run) and
+    per-transaction values are bound at execute time.  The bound SQL is
+    byte-identical to the literal stream, so metrics are comparable
+    between the two modes.
     """
 
     def __init__(
@@ -94,13 +107,20 @@ class WorkloadRunner:
         seed: int = 0,
         retries: int = 0,
         transaction_deadline: Optional[float] = None,
+        use_prepared: bool = False,
     ) -> None:
         if transaction_deadline is not None and transaction_deadline <= 0:
             raise ValueError("the transaction deadline must be positive")
+        if use_prepared and not hasattr(endpoint, "prepare"):
+            raise ValueError(
+                "use_prepared=True requires an endpoint with a prepare() method"
+            )
         self.endpoint = endpoint
         self.seed = seed
         self.retries = retries
         self.transaction_deadline = transaction_deadline
+        self.use_prepared = use_prepared
+        self._prepared_cache: dict[str, Any] = {}
 
     def setup(self) -> None:
         """Create and populate the schema."""
@@ -145,14 +165,28 @@ class WorkloadRunner:
                 metrics.aborted_transactions += 1
         metrics.exhausted_retries += 1
 
+    def _calls(self, transaction: Transaction) -> list[tuple[str, tuple]]:
+        if self.use_prepared:
+            return transaction.prepared_calls()
+        return [(statement, ()) for statement in transaction.statements]
+
+    def _execute_call(self, template: str, params: tuple):
+        if not self.use_prepared:
+            return self.endpoint.execute(template)
+        handle = self._prepared_cache.get(template)
+        if handle is None:
+            handle = self.endpoint.prepare(template)  # type: ignore[attr-defined]
+            self._prepared_cache[template] = handle
+        return handle.execute(params)
+
     def _attempt(self, transaction: Transaction, metrics: WorkloadMetrics) -> bool:
         in_transaction = False
         budget = self.transaction_deadline
         spent = 0.0
-        for statement in transaction.statements:
+        for statement, params in self._calls(transaction):
             upper = statement.strip().upper()
             try:
-                result = self.endpoint.execute(statement)
+                result = self._execute_call(statement, params)
                 metrics.statements += 1
                 if upper == "BEGIN":
                     in_transaction = True
