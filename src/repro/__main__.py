@@ -27,10 +27,17 @@ Commands
 ``export [PATH]``
     Export the corpus (scripts + ground truth) as JSON
     (default: corpus.json).
-``lint``
+``lint [--json]``
     Statically lint the corpus and fault catalogs: portability
-    predictions vs ground truth, translator agreement, and fault-trigger
-    reachability.  Exit status 1 when any finding is reported (CI gate).
+    predictions vs ground truth, translator agreement, fault-trigger
+    reachability, slice-vs-reproduction drift, and proven-agreement
+    violations.  ``--json`` emits one JSON object per finding (code,
+    severity, statement index, script id).  Exit status 1 when any
+    finding is reported (CI gate).
+``slice BUG_ID``
+    Print a bug script's static trigger slice — the minimal statement
+    subsequence that preserves the bug's reproduction — with the
+    dropped statement indices.
 """
 
 from __future__ import annotations
@@ -46,6 +53,7 @@ from repro.study import (
     build_table4,
     failure_type_shares,
     run_study,
+    separate_identical_pairs,
 )
 from repro.study.tables import render_table1, render_table2, render_table3, render_table4
 
@@ -67,6 +75,13 @@ def cmd_study() -> int:
     print(
         f"\nincorrect-result failures: {100 * shares.incorrect_fraction:.1f}% "
         f"(paper 64.5%); crashes: {100 * shares.crash_fraction:.1f}% (paper 17.1%)"
+    )
+    breakdown = separate_identical_pairs(study)
+    print(
+        f"identical coincident failures: "
+        f"{len(breakdown.identical_incorrect)} identical incorrect result(s), "
+        f"{len(breakdown.dialect_artifacts)} identically rendered dialect "
+        f"artifact(s), {len(breakdown.unexplained)} unexplained"
     )
     return 0
 
@@ -246,10 +261,31 @@ def cmd_report(path: str) -> int:
     return 0
 
 
-def cmd_lint() -> int:
+def cmd_lint(as_json: bool = False) -> int:
     from repro.analysis import run_lint
 
-    return run_lint(build_corpus())
+    return run_lint(build_corpus(), as_json=as_json)
+
+
+def cmd_slice(bug_id: str) -> int:
+    from repro.analysis import minimize_report
+
+    corpus = build_corpus()
+    matches = [report for report in corpus if report.bug_id == bug_id]
+    if not matches:
+        print(f"unknown bug id {bug_id!r}")
+        return 2
+    report = matches[0]
+    sliced = minimize_report(report)
+    total = len(sliced.kept) + len(sliced.dropped)
+    anchors = dict(sliced.anchors)
+    print(f"{report.bug_id}: kept {len(sliced.kept)}/{total} statement(s), "
+          f"dropped {list(sliced.dropped)}")
+    for index, statement in zip(sliced.kept, sliced.statements):
+        reason = anchors.get(index)
+        note = f"  -- anchor: {reason}" if reason else ""
+        print(f"[{index:>2}] {statement};{note}")
+    return 0
 
 
 def cmd_export(path: str) -> int:
@@ -281,7 +317,12 @@ def main(argv: list[str]) -> int:
     if command == "export":
         return cmd_export(argv[1] if len(argv) > 1 else "corpus.json")
     if command == "lint":
-        return cmd_lint()
+        return cmd_lint(as_json="--json" in argv[1:])
+    if command == "slice":
+        if len(argv) < 2:
+            print(__doc__)
+            return 2
+        return cmd_slice(argv[1])
     print(__doc__)
     return 2
 

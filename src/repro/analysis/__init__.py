@@ -18,9 +18,41 @@ Four verdict families, four consumers:
   faults are statically reachable from the corpus scripts; the static
   complement of the dynamic dead-fault audit, covering Heisenbugs too.
 
+Two *script-level* layers compose the per-statement facts:
+
+* **Whole-script dataflow** (:mod:`repro.analysis.dataflow`) — per
+  statement def/use sets over (table, column) cells, a def-use graph,
+  backward slices, dead-statement/dead-column findings, and static
+  minimization of every corpus bug script to its trigger slice
+  (:func:`minimize_report`), validated dynamically by the lint.
+* **Dialect-divergence abstract interpretation**
+  (:mod:`repro.analysis.divergence`) — per product pair, can these two
+  products legitimately disagree on this statement?  ``AGREE_PROVEN`` /
+  ``BENIGN_DIALECT`` / ``UNKNOWN`` verdicts consumed by the comparator
+  (benign divergence is not suspicion) and the Table-4 pipeline.
+
 ``python -m repro lint`` (:func:`run_lint`) gates all of it in CI.
 """
 
+from repro.analysis.dataflow import (
+    DefUse,
+    ScriptGraph,
+    SliceResult,
+    StatementNode,
+    build_graph,
+    minimize_report,
+    minimize_script,
+    statement_def_use,
+)
+from repro.analysis.divergence import (
+    PROFILES,
+    DivergenceAtom,
+    DivergenceKind,
+    DivergenceVerdict,
+    SemanticProfile,
+    StatementDivergence,
+    analyze_divergence,
+)
 from repro.analysis.lint import LintFinding, lint_corpus, run_lint
 from repro.analysis.portability import (
     PortabilityVerdict,
@@ -47,24 +79,39 @@ from repro.analysis.verdicts import (
 
 __all__ = [
     "AccessVerdict",
+    "DefUse",
+    "DivergenceAtom",
+    "DivergenceKind",
+    "DivergenceVerdict",
     "LintFinding",
     "OrderVerdict",
+    "PROFILES",
     "PortabilityVerdict",
+    "ScriptGraph",
     "ScriptSchema",
+    "SemanticProfile",
+    "SliceResult",
+    "StatementDivergence",
+    "StatementNode",
     "StatementVerdict",
     "StaticContext",
     "TableInfo",
     "VOLATILE_FUNCTIONS",
     "ViewInfo",
     "WRITE_KINDS",
+    "analyze_divergence",
     "analyze_statement",
+    "build_graph",
     "fault_reachability",
     "lint_corpus",
+    "minimize_report",
+    "minimize_script",
     "predicted_hosts",
     "run_lint",
     "script_contexts",
     "script_portability",
     "server_contexts",
+    "statement_def_use",
     "statement_portability",
     "unreachable_faults",
 ]

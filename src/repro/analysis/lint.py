@@ -1,8 +1,8 @@
 """Corpus lint: the static analyzer turned into a CI gate.
 
-``python -m repro lint`` runs three whole-corpus consistency checks —
-each one a way the corpus, the dialect layer, and the fault catalogs
-can silently drift apart:
+``python -m repro lint`` runs five whole-corpus consistency checks —
+each one a way the corpus, the dialect layer, the fault catalogs, and
+the script-level analyses can silently drift apart:
 
 ``portability-drift``
     The static per-server portability prediction
@@ -22,17 +22,42 @@ can silently drift apart:
     least one statement of a hosting script
     (:func:`repro.analysis.reachability.unreachable_faults`) —
     including Heisenbug faults the dynamic audit cannot judge.
+
+``slice-drift``
+    Every bug script's static trigger slice
+    (:func:`repro.analysis.dataflow.minimize_report`) must reproduce
+    the same per-server outcome classification as the full script when
+    run through the study pipeline.  A mismatch means the def-use graph
+    dropped a statement the bug actually needs.
+
+``agree-proven-divergence``
+    For every statement and product pair the divergence analyzer marks
+    ``AGREE_PROVEN``, the two pristine (fault-free) products must
+    return identical normalized answers on the corpus.  A violation
+    means the analyzer would tell the comparator to trust an agreement
+    that does not exist.
+
+``python -m repro lint --json`` emits one JSON object per finding
+(``code`` / ``severity`` / ``statement_index`` / ``script_id`` /
+``detail``) for machine consumption in CI annotations.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.analysis.dataflow import minimize_report
+from repro.analysis.divergence import DivergenceKind, analyze_divergence
 from repro.analysis.portability import predicted_hosts
 from repro.analysis.reachability import unreachable_faults
-from repro.dialects.features import SERVER_KEYS
-from repro.dialects.translator import translation_verdict
+from repro.analysis.schema import ScriptSchema
+from repro.dialects.features import SERVER_KEYS, dialect
+from repro.dialects.translator import translate_script, translation_verdict
+from repro.errors import FeatureNotSupported
+from repro.middleware.normalizer import normalize_signature
+from repro.sqlengine.parser import parse_statement
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bugs.corpus import Corpus
@@ -45,9 +70,32 @@ class LintFinding:
     check: str
     subject: str
     detail: str
+    severity: str = "error"
+    #: Zero-based statement index inside the subject's script, when the
+    #: finding pins down one statement (slice/divergence checks).
+    statement_index: Optional[int] = None
 
     def __str__(self) -> str:
-        return f"[{self.check}] {self.subject}: {self.detail}"
+        where = (
+            f" (statement {self.statement_index})"
+            if self.statement_index is not None
+            else ""
+        )
+        return f"[{self.check}] {self.subject}{where}: {self.detail}"
+
+    def to_json(self) -> str:
+        """One machine-readable line: code, severity, statement index,
+        script id, and the human detail."""
+        return json.dumps(
+            {
+                "code": self.check,
+                "severity": self.severity,
+                "statement_index": self.statement_index,
+                "script_id": self.subject,
+                "detail": self.detail,
+            },
+            sort_keys=True,
+        )
 
 
 def lint_corpus(corpus: "Corpus") -> list[LintFinding]:
@@ -56,6 +104,8 @@ def lint_corpus(corpus: "Corpus") -> list[LintFinding]:
     findings.extend(_check_portability_drift(corpus))
     findings.extend(_check_translator_agreement(corpus))
     findings.extend(_check_dead_faults(corpus))
+    findings.extend(_check_slice_reproduction(corpus))
+    findings.extend(_check_agree_proven(corpus))
     return findings
 
 
@@ -124,18 +174,126 @@ def _check_dead_faults(corpus: "Corpus") -> list[LintFinding]:
     ]
 
 
+def _check_slice_reproduction(corpus: "Corpus") -> list[LintFinding]:
+    """The static trigger slice of every bug script must classify the
+    same as the full script, on every server."""
+    from repro.study.runner import StudyRunner
+
+    runner = StudyRunner(corpus)
+    findings: list[LintFinding] = []
+    for report in corpus:
+        sliced = minimize_report(report)
+        if not sliced.dropped:
+            continue  # slice == full script: nothing to drift
+        for server in SERVER_KEYS:
+            full = runner.run_cell(report, server)
+            reduced = runner.run_cell(report, server, script=sliced.sql)
+            same = (
+                full.kind is reduced.kind
+                and full.failure_kind is reduced.failure_kind
+                and full.detectability is reduced.detectability
+            )
+            if not same:
+                findings.append(
+                    LintFinding(
+                        check="slice-drift",
+                        subject=f"{report.bug_id}@{server}",
+                        detail=(
+                            f"full script classifies as {_cell_label(full)} but "
+                            f"its trigger slice (dropped statements "
+                            f"{list(sliced.dropped)}) classifies as "
+                            f"{_cell_label(reduced)}"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _cell_label(cell) -> str:
+    parts = [cell.kind.name]
+    if cell.failure_kind is not None:
+        parts.append(cell.failure_kind.name)
+    if cell.detectability is not None:
+        parts.append(cell.detectability.name)
+    return "/".join(parts)
+
+
+def _check_agree_proven(corpus: "Corpus") -> list[LintFinding]:
+    """AGREE_PROVEN product pairs must never dynamically diverge on the
+    corpus without an active fault."""
+    from repro.servers.product import ServerProduct
+    from repro.study.runner import run_script, split_statements
+
+    pristine = {server: ServerProduct(dialect(server)) for server in SERVER_KEYS}
+    findings: list[LintFinding] = []
+    for report in corpus:
+        servers = sorted(report.runnable_on)
+        if len(servers) < 2:
+            continue
+        outcomes = {}
+        for server in servers:
+            if server == report.reported_for:
+                script = report.script
+            else:
+                try:
+                    script = translate_script(report.script, server)
+                except FeatureNotSupported:  # pragma: no cover - drift check
+                    continue
+            pristine[server].reset()
+            outcomes[server] = normalize_signature(
+                run_script(pristine[server], script).signature()
+            )
+        statements = split_statements(report.script)
+        schema = ScriptSchema()
+        for index, statement_sql in enumerate(statements):
+            stmt = parse_statement(statement_sql)
+            divergence = analyze_divergence(stmt, schema)
+            schema.observe(stmt)
+            for i, a in enumerate(servers):
+                for b in servers[i + 1 :]:
+                    if a not in outcomes or b not in outcomes:
+                        continue
+                    verdict = divergence.verdict(a, b, normalized=True)
+                    if verdict.kind is not DivergenceKind.AGREE_PROVEN:
+                        continue
+                    sig_a = outcomes[a]
+                    sig_b = outcomes[b]
+                    if index >= len(sig_a) or index >= len(sig_b):
+                        continue  # an earlier crash truncated the run
+                    if sig_a[index] != sig_b[index]:
+                        findings.append(
+                            LintFinding(
+                                check="agree-proven-divergence",
+                                subject=f"{report.bug_id}:{a}-{b}",
+                                statement_index=index,
+                                detail=(
+                                    "analyzer proved agreement but pristine "
+                                    f"products answered differently: "
+                                    f"{sig_a[index]!r} vs {sig_b[index]!r}"
+                                ),
+                            )
+                        )
+    return findings
+
+
 def run_lint(
-    corpus: "Corpus", emit: Callable[[str], None] = print
+    corpus: "Corpus",
+    emit: Callable[[str], None] = print,
+    *,
+    as_json: bool = False,
 ) -> int:
     """Run the lint, report findings, return a process exit code."""
     findings = lint_corpus(corpus)
     for finding in findings:
-        emit(str(finding))
+        emit(finding.to_json() if as_json else str(finding))
     if findings:
-        emit(f"lint: {len(findings)} finding(s)")
+        if not as_json:
+            emit(f"lint: {len(findings)} finding(s)")
         return 1
-    emit(
-        "lint: corpus clean (portability predictions, translator "
-        "agreement, fault reachability)"
-    )
+    if not as_json:
+        emit(
+            "lint: corpus clean (portability predictions, translator "
+            "agreement, fault reachability, slice reproduction, proven "
+            "agreement)"
+        )
     return 0

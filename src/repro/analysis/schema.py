@@ -34,10 +34,24 @@ class TableInfo:
     #: Column sets proven unique (PK, UNIQUE, unique indexes).  Order
     #: follows declaration order; membership is what matters.
     unique_keys: list[frozenset[str]] = field(default_factory=list)
+    #: Declared type name per column (upper-cased spelling as written,
+    #: e.g. ``VARCHAR2``), for the divergence analyzer's abstract typing.
+    column_types: dict[str, str] = field(default_factory=dict)
+    #: Declared nullability per column: False for NOT NULL / PRIMARY KEY
+    #: columns, True otherwise.  NULL-sensitive dialect rules (sort
+    #: position, concatenation) only apply to nullable expressions.
+    column_nullable: dict[str, bool] = field(default_factory=dict)
 
     def add_key(self, columns: frozenset[str]) -> None:
         if columns and columns not in self.unique_keys:
             self.unique_keys.append(columns)
+
+    def add_column(self, spec: ast.ColumnSpec) -> None:
+        name = spec.name.lower()
+        if name not in self.columns:
+            self.columns.append(name)
+        self.column_types[name] = spec.type_name.upper()
+        self.column_nullable[name] = not (spec.not_null or spec.primary_key)
 
 
 @dataclass
@@ -130,17 +144,14 @@ class ScriptSchema:
         elif isinstance(stmt, ast.AlterTableAddColumn):
             table = self.tables.get(stmt.table.lower())
             if table is not None:
-                name = stmt.column.name.lower()
-                table.columns.append(name)
+                table.add_column(stmt.column)
                 if stmt.column.primary_key or stmt.column.unique:
-                    table.add_key(frozenset({name}))
+                    table.add_key(frozenset({stmt.column.name.lower()}))
 
     def _observe_create_table(self, stmt: ast.CreateTable) -> None:
-        info = TableInfo(
-            name=stmt.name.lower(),
-            columns=[column.name.lower() for column in stmt.columns],
-        )
+        info = TableInfo(name=stmt.name.lower())
         for column in stmt.columns:
+            info.add_column(column)
             if column.primary_key or column.unique:
                 info.add_key(frozenset({column.name.lower()}))
         for constraint in stmt.constraints:
@@ -161,6 +172,17 @@ class ScriptSchema:
     def unique_keys(self, relation: str) -> list[frozenset[str]]:
         table = self.tables.get(relation.lower())
         return list(table.unique_keys) if table is not None else []
+
+    def column_fact(self, relation: str, column: str) -> Optional[tuple[str, bool]]:
+        """``(declared type name, nullable)`` for one base-table column,
+        or None when the table or column is unknown."""
+        table = self.tables.get(relation.lower())
+        if table is None:
+            return None
+        name = column.lower()
+        if name not in table.column_types:
+            return None
+        return table.column_types[name], table.column_nullable.get(name, True)
 
     def predicted_dynamic_tags(self, traits: StatementTraits) -> set[str]:
         """The dynamic tags the engine would add for this statement.

@@ -21,6 +21,7 @@ from repro.faults.audit import TimeoutAuditEntry
 from repro.faults.effects import (
     BehaviourFlagEffect,
     CrashEffect,
+    DialectRenderEffect,
     ErrorEffect,
     HangEffect,
     PerformanceEffect,
@@ -46,6 +47,7 @@ __all__ = [
     "AlwaysTrigger",
     "BehaviourFlagEffect",
     "CrashEffect",
+    "DialectRenderEffect",
     "Detectability",
     "ErrorEffect",
     "FailureKind",

@@ -270,6 +270,57 @@ class MutateColumnNamesEffect(Effect):
         return result
 
 
+class DialectRenderEffect(Effect):
+    """Render SELECT values the way a dialect legitimately would.
+
+    Not a bug: models the product-specific *representations* the paper's
+    middleware had to normalize away — CHAR blank-padding, DATE values
+    carrying a midnight time component, exact numerics rendered at
+    canonical scale.  Seeding it on the replicas whose
+    :data:`~repro.analysis.divergence.PROFILES` entry carries the
+    behaviour lets benchmarks measure comparator false alarms: with the
+    divergence analyzer on, a raw-mode comparator must label the
+    resulting disagreements ``benign_dialect``, never
+    ``fault_indicating``.
+    """
+
+    def __init__(self, mode: str, width: int = 8) -> None:
+        if mode not in ("pad", "rstrip", "strip-scale", "datetime"):
+            raise ValueError(
+                "mode must be 'pad', 'rstrip', 'strip-scale', or 'datetime'"
+            )
+        self.mode = mode
+        self.width = width
+
+    def _render(self, value):
+        import datetime
+        from decimal import Decimal
+
+        if self.mode == "pad" and isinstance(value, str):
+            return value.rstrip().ljust(self.width)
+        if self.mode == "rstrip" and isinstance(value, str):
+            return value.rstrip()
+        if self.mode == "strip-scale" and isinstance(value, Decimal):
+            normalized = value.normalize()
+            # Decimal('1E+1') style output would be a different value
+            # *rendering* bug; keep plain notation.
+            return normalized.quantize(1) if normalized == normalized.to_integral_value() else normalized
+        if (
+            self.mode == "datetime"
+            and isinstance(value, datetime.date)
+            and not isinstance(value, datetime.datetime)
+        ):
+            return datetime.datetime(value.year, value.month, value.day)
+        return value
+
+    def apply_after(self, ctx, result):
+        if result.kind == "select":
+            result.rows = [
+                tuple(self._render(value) for value in row) for row in result.rows
+            ]
+        return result
+
+
 class BehaviourFlagEffect(Effect):
     """Expose a named behaviour flag the engine consults internally.
 

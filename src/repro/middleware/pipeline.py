@@ -21,6 +21,9 @@ Cache keys and invalidation:
   is unique), so a stale entry after ``CREATE INDEX`` / ``ALTER
   TABLE`` would be wrong.  Bumping the generation on every DDL makes
   that impossible.
+* **divergence** / **def_use** — keyed on ``(text, generation)`` for
+  the same reason: both read declared column types/nullability and the
+  view catalog from the schema.
 
 The generation mirrors the engines' ``Catalog.generation`` counter:
 the middleware bumps it once per DDL statement it commits, which is
@@ -37,6 +40,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Union
 
+from repro.analysis.dataflow import DefUse, statement_def_use
+from repro.analysis.divergence import StatementDivergence, analyze_divergence
 from repro.analysis.schema import ScriptSchema
 from repro.analysis.verdicts import StatementVerdict, analyze_statement
 from repro.dialects.features import DialectDescriptor
@@ -57,16 +62,32 @@ class PipelineStats:
     translate_misses: int = 0
     verdict_hits: int = 0
     verdict_misses: int = 0
+    divergence_hits: int = 0
+    divergence_misses: int = 0
+    dataflow_hits: int = 0
+    dataflow_misses: int = 0
     #: Schema-generation bumps (each one invalidates the keyed layers).
     invalidations: int = 0
 
     @property
     def hits(self) -> int:
-        return self.parse_hits + self.translate_hits + self.verdict_hits
+        return (
+            self.parse_hits
+            + self.translate_hits
+            + self.verdict_hits
+            + self.divergence_hits
+            + self.dataflow_hits
+        )
 
     @property
     def misses(self) -> int:
-        return self.parse_misses + self.translate_misses + self.verdict_misses
+        return (
+            self.parse_misses
+            + self.translate_misses
+            + self.verdict_misses
+            + self.divergence_misses
+            + self.dataflow_misses
+        )
 
 
 #: A parsed entry: (statement, traits, placeholder count).
@@ -87,6 +108,10 @@ class StatementPipeline:
             tuple[str, str, int], Union[str, FeatureNotSupported]
         ] = OrderedDict()
         self._verdicts: OrderedDict[tuple[str, int], StatementVerdict] = OrderedDict()
+        self._divergences: OrderedDict[
+            tuple[str, int], StatementDivergence
+        ] = OrderedDict()
+        self._def_uses: OrderedDict[tuple[str, int], DefUse] = OrderedDict()
 
     def bump_generation(self) -> None:
         """Record a schema change: entries keyed on the old generation
@@ -148,6 +173,46 @@ class StatementPipeline:
         self._store(self._verdicts, key, verdict)
         self.stats.verdict_misses += 1
         return verdict
+
+    def divergence(
+        self,
+        sql: str,
+        statement: ast.Statement,
+        schema: ScriptSchema,
+        traits: StatementTraits,
+    ) -> StatementDivergence:
+        """Dialect-divergence analysis for one statement, memoized per
+        schema generation."""
+        key = (sql, self.generation)
+        cached = self._divergences.get(key)
+        if cached is not None:
+            self._divergences.move_to_end(key)
+            self.stats.divergence_hits += 1
+            return cached
+        divergence = analyze_divergence(statement, schema, traits=traits)
+        self._store(self._divergences, key, divergence)
+        self.stats.divergence_misses += 1
+        return divergence
+
+    def def_use(
+        self,
+        sql: str,
+        statement: ast.Statement,
+        schema: ScriptSchema,
+        traits: StatementTraits,
+    ) -> DefUse:
+        """Def/use sets for one statement, memoized per schema
+        generation."""
+        key = (sql, self.generation)
+        cached = self._def_uses.get(key)
+        if cached is not None:
+            self._def_uses.move_to_end(key)
+            self.stats.dataflow_hits += 1
+            return cached
+        def_use = statement_def_use(statement, schema, traits)
+        self._store(self._def_uses, key, def_use)
+        self.stats.dataflow_misses += 1
+        return def_use
 
     # -- plumbing ----------------------------------------------------------
 

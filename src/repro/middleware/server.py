@@ -76,6 +76,11 @@ import warnings as _warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
+from repro.analysis.divergence import (
+    PROFILES,
+    DivergenceKind,
+    StatementDivergence,
+)
 from repro.analysis.schema import ScriptSchema
 from repro.analysis.verdicts import WRITE_KINDS, StatementVerdict
 from repro.errors import (
@@ -196,6 +201,13 @@ class MiddlewareStats:
     #: Single-shot retries issued on writes the analyzer proved
     #: re-execution-safe (the generalisation of "writes never retry").
     idempotent_write_retries: int = 0
+    #: Disagreement rounds where every cross-group product pair is
+    #: statically proven BENIGN_DIALECT — legitimate dialect semantics,
+    #: not a fault; out-voted replicas are spared suspicion.
+    benign_dialect_divergences: int = 0
+    #: Disagreement rounds the analyzer could not prove benign (the
+    #: genuinely suspicious ones; these drive quarantine as before).
+    fault_indicating_divergences: int = 0
     # -- prepared/batch counters -----------------------------------------
     #: ``executemany`` invocations (one adjudication round each).
     batches: int = 0
@@ -411,8 +423,12 @@ class DiverseServer:
         and quarantine backoffs see batches as row sequences."""
         is_write = traits.kind in _WRITE_KINDS
         verdict: Optional[StatementVerdict] = None
+        divergence: Optional[StatementDivergence] = None
         if self.static_analysis:
             verdict = self.pipeline.verdict(call.sql, statement, self._schema, traits)
+            divergence = self.pipeline.divergence(
+                call.sql, statement, self._schema, traits
+            )
         self.stats.statements += 1
         if is_write:
             self.stats.writes += 1
@@ -436,7 +452,8 @@ class DiverseServer:
                 result = self._execute_single(call, active, is_write, policy, verdict)
             else:
                 result = self._execute_compared(
-                    call, active, is_write, policy, verdict, fast_unanimous
+                    call, active, is_write, policy, verdict, fast_unanimous,
+                    divergence=divergence,
                 )
         finally:
             self._pending_write = None
@@ -560,6 +577,7 @@ class DiverseServer:
         policy: str,
         verdict: Optional[StatementVerdict] = None,
         fast_unanimous: bool = False,
+        divergence: Optional[StatementDivergence] = None,
     ) -> Result:
         answers: list[ReplicaAnswer] = []
         crashed: list[Replica] = []
@@ -605,6 +623,15 @@ class DiverseServer:
             return comparison.largest[0].unwrap()
 
         self.stats.disagreements_detected += 1
+        # Triage: can the products legitimately disagree here?  Only
+        # when every cross-group product pair is statically proven
+        # BENIGN_DIALECT is the round benign; anything weaker (UNKNOWN,
+        # AGREE_PROVEN, or an unanalyzed statement) stays suspicious.
+        benign = self._benign_divergence(divergence, comparison)
+        if benign:
+            self.stats.benign_dialect_divergences += 1
+        else:
+            self.stats.fault_indicating_divergences += 1
         if policy == "monitor":
             # Observation mode (Section 7: "the user could decide on an
             # ongoing basis which architecture is giving the best
@@ -641,6 +668,11 @@ class DiverseServer:
         outvoted = comparison.minority_replicas()
         for key in outvoted:
             replica = self.replica(key)
+            if benign:
+                # A proven dialect divergence is the replica behaving
+                # correctly for its product: mask the difference, but
+                # spend no retry and raise no suspicion.
+                continue
             if self._retry_matches(
                 replica, call, is_write, winner_key, verdict, ordered
             ):
@@ -651,6 +683,30 @@ class DiverseServer:
             f"masked divergent answer(s) from: {', '.join(sorted(outvoted))}"
         )
         return result
+
+    def _benign_divergence(
+        self,
+        divergence: Optional[StatementDivergence],
+        comparison,
+    ) -> bool:
+        """True when the statement's divergence analysis proves every
+        cross-group product pair may legitimately disagree."""
+        if divergence is None:
+            return False
+        normalized = self.comparator.normalize
+        groups = comparison.groups
+        for i, group_a in enumerate(groups):
+            for group_b in groups[i + 1 :]:
+                for a in group_a:
+                    for b in group_b:
+                        if a.replica not in PROFILES or b.replica not in PROFILES:
+                            return False
+                        pair_verdict = divergence.verdict(
+                            a.replica, b.replica, normalized=normalized
+                        )
+                        if pair_verdict.kind is not DivergenceKind.BENIGN_DIALECT:
+                            return False
+        return True
 
     @staticmethod
     def _raw_unanimous(answers: list[ReplicaAnswer]) -> bool:

@@ -15,15 +15,18 @@ Public surface:
 from repro.study.classify import CellOutcome, OutcomeKind, classify_run
 from repro.study.runner import StudyResult, run_script, run_study
 from repro.study.tables import (
+    IdenticalPairBreakdown,
     build_table1,
     build_table2,
     build_table3,
     build_table4,
     failure_type_shares,
+    separate_identical_pairs,
 )
 
 __all__ = [
     "CellOutcome",
+    "IdenticalPairBreakdown",
     "OutcomeKind",
     "StudyResult",
     "build_table1",
@@ -34,4 +37,5 @@ __all__ = [
     "failure_type_shares",
     "run_script",
     "run_study",
+    "separate_identical_pairs",
 ]

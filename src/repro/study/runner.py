@@ -123,19 +123,27 @@ class StudyRunner:
             key: {fault.fault_id: fault for fault in faults[key]} for key in SERVER_KEYS
         }
 
-    def run_cell(self, report: BugReport, target: str) -> CellOutcome:
-        """Classify one (bug, server) cell."""
+    def run_cell(
+        self, report: BugReport, target: str, *, script: Optional[str] = None
+    ) -> CellOutcome:
+        """Classify one (bug, server) cell.
+
+        ``script`` substitutes a home-dialect script for the report's
+        own (the lint's slice cross-check classifies each bug's static
+        trigger slice through the exact same pipeline).
+        """
+        source = report.script if script is None else script
         if target != report.reported_for:
             if target in report.translation_pending:
                 return CellOutcome(kind=OutcomeKind.FURTHER_WORK)
             try:
-                script = translate_script(report.script, target)
+                script = translate_script(source, target)
             except FeatureNotSupported as missing:
                 return CellOutcome(
                     kind=OutcomeKind.CANNOT_RUN, missing_feature=missing.feature
                 )
         else:
-            script = report.script
+            script = source
 
         faulty_server = self.faulty[target]
         oracle_server = self.oracle[target]

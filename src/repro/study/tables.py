@@ -215,6 +215,97 @@ def heisenbug_extras(study: StudyResult) -> list[tuple[str, frozenset[str]]]:
 
 
 # --------------------------------------------------------------------------
+# Identicality triage (dialect artifacts vs identical incorrect results)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class IdenticalPairBreakdown:
+    """The both-nondetectable cells of Table 3, triaged.
+
+    ``identical_incorrect``
+        Both servers returned byte-identical wrong answers — the
+        paper's genuinely non-detectable coincident failures.
+    ``dialect_artifacts``
+        The answers only became identical under representation
+        normalisation, and every raw difference sits on a statement the
+        divergence analyzer proves ``BENIGN_DIALECT`` with a
+        normalizer-folded rule — identically *rendered*, not
+        identically *wrong*.
+    ``unexplained``
+        Normalisation folded a raw difference the analyzer cannot
+        attribute to a dialect rule (none on the shipped corpus; any
+        entry here deserves investigation).
+    """
+
+    identical_incorrect: list[tuple[str, tuple[str, str]]] = None
+    dialect_artifacts: list[tuple[str, tuple[str, str]]] = None
+    unexplained: list[tuple[str, tuple[str, str]]] = None
+
+    def __post_init__(self) -> None:
+        self.identical_incorrect = self.identical_incorrect or []
+        self.dialect_artifacts = self.dialect_artifacts or []
+        self.unexplained = self.unexplained or []
+
+
+def separate_identical_pairs(study: StudyResult) -> IdenticalPairBreakdown:
+    """Split Table 3's "identical failure" cells into identical
+    incorrect results vs identically rendered dialect artifacts."""
+    from repro.analysis.divergence import DivergenceKind, analyze_divergence
+    from repro.analysis.schema import ScriptSchema
+    from repro.sqlengine.parser import parse_statement
+    from repro.study.runner import split_statements
+
+    breakdown = IdenticalPairBreakdown()
+    for x, y in PAIRS:
+        for report in study.corpus:
+            ran = study.ran_on(report)
+            if x not in ran or y not in ran:
+                continue
+            cell_x = study.outcome(report.bug_id, x)
+            cell_y = study.outcome(report.bug_id, y)
+            if not (cell_x.failed and cell_y.failed):
+                continue
+            if cell_x.self_evident or cell_y.self_evident:
+                continue
+            if not _identical_failures(study, report.bug_id, x, y):
+                continue
+            entry = (report.bug_id, (x, y))
+            sig_x = cell_x.faulty.signature()
+            sig_y = cell_y.faulty.signature()
+            if sig_x == sig_y:
+                breakdown.identical_incorrect.append(entry)
+                continue
+            # Raw answers differ but normalized answers agree: decide
+            # per differing statement whether a dialect rule the
+            # normalizer folds explains it.
+            differing = [
+                index
+                for index in range(min(len(sig_x), len(sig_y)))
+                if sig_x[index] != sig_y[index]
+            ]
+            schema = ScriptSchema()
+            verdicts = []
+            for index, statement_sql in enumerate(split_statements(report.script)):
+                stmt = parse_statement(statement_sql)
+                if index in differing:
+                    divergence = analyze_divergence(stmt, schema)
+                    verdicts.append(divergence.verdict(x, y, normalized=False))
+                schema.observe(stmt)
+            benign = verdicts and all(
+                verdict.kind is DivergenceKind.BENIGN_DIALECT
+                and verdict.atom is not None
+                and verdict.atom.normalizer_folds
+                for verdict in verdicts
+            )
+            if benign:
+                breakdown.dialect_artifacts.append(entry)
+            else:
+                breakdown.unexplained.append(entry)
+    return breakdown
+
+
+# --------------------------------------------------------------------------
 # Section 7 statistics
 # --------------------------------------------------------------------------
 

@@ -1,5 +1,6 @@
 """CLI smoke tests (python -m repro ...)."""
 
+import json
 
 from repro.__main__ import main
 
@@ -35,3 +36,48 @@ class TestCli:
     def test_unknown_command_prints_usage(self, capsys):
         assert main(["bogus"]) == 2
         assert "Commands" in capsys.readouterr().out
+
+    def test_slice_command(self, capsys):
+        assert main(["slice", "IB-223512"]) == 0
+        output = capsys.readouterr().out
+        assert "IB-223512: kept 3/5 statement(s), dropped [1, 2]" in output
+        assert "anchor:" in output
+
+    def test_slice_unknown_bug(self, capsys):
+        assert main(["slice", "XX-0"]) == 2
+        assert "unknown bug id" in capsys.readouterr().out
+
+    def test_slice_requires_bug_id(self, capsys):
+        assert main(["slice"]) == 2
+
+    def test_lint_json_is_machine_readable(self, capsys):
+        # The shipped corpus lints clean, so --json emits no findings —
+        # and none of the human-readable summary either.
+        assert main(["lint", "--json"]) == 0
+        output = capsys.readouterr().out
+        for line in output.splitlines():
+            record = json.loads(line)
+            assert {"code", "severity", "statement_index", "script_id"} <= set(record)
+        assert "lint:" not in output
+
+
+class TestLintJsonFindings:
+    def test_findings_serialize(self):
+        from repro.analysis.lint import LintFinding
+
+        finding = LintFinding(
+            check="dead-fault",
+            subject="XX-1",
+            detail="unreachable trigger",
+            statement_index=3,
+        )
+        record = json.loads(finding.to_json())
+        assert record == {
+            "code": "dead-fault",
+            "severity": "error",
+            "statement_index": 3,
+            "script_id": "XX-1",
+            "detail": "unreachable trigger",
+        }
+        # And the plain renderer carries the statement index too.
+        assert "(statement 3)" in str(finding)

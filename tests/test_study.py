@@ -152,6 +152,17 @@ class TestStudyReproducesPaper:
         table = build_table3(study)
         assert sum(row.both_nondetectable for row in table.values()) == 4
 
+    def test_identical_pairs_triage(self, study):
+        """The four non-detectable cells are genuinely identical wrong
+        answers: the shared evaluator renders identically, so none is a
+        dialect artifact and none is left unexplained."""
+        from repro.study import separate_identical_pairs
+
+        breakdown = separate_identical_pairs(study)
+        assert len(breakdown.identical_incorrect) == 4
+        assert breakdown.dialect_artifacts == []
+        assert breakdown.unexplained == []
+
     def test_detectability_at_least_94_percent(self, study):
         # Section 4.3: "diversity allows detection of failures for at
         # least 94% of these bugs" in every 2-version pair.
