@@ -22,6 +22,13 @@ Commands
     hangs on stock-level analysis queries and suffers one transient
     stall — and print the watchdog's timeout/audit/quarantine
     telemetry (the paper's self-evident *performance* failure class).
+``diskstorm [N]``
+    Run N TPC-C-style transactions (default 120) through a durable
+    3-version majority configuration whose IB disk tears, drops, and
+    corrupts WAL appends; power-cut the whole deployment and restart
+    it from the surviving medium; then retire the IB replica and
+    rebuild it online from a healthy donor while N more transactions
+    flow — printing WAL/checkpoint/recovery/rebuild telemetry.
 ``report [PATH]``
     Write a full markdown study report (default: study_report.md).
 ``export [PATH]``
@@ -251,6 +258,106 @@ def cmd_hangstorm(count: int) -> int:
     return 0
 
 
+def cmd_diskstorm(count: int) -> int:
+    from repro.durability import DurabilityManager, MemoryMedium
+    from repro.faults import (
+        ChecksumCorruptionEffect,
+        Detectability,
+        FailureKind,
+        FaultSpec,
+        LostFlushEffect,
+        SqlPatternTrigger,
+        TornWriteEffect,
+    )
+    from repro.middleware import DiverseServer, ServerConfig
+    from repro.servers import make_server
+    from repro.workload import WorkloadRunner
+
+    def storm_faults() -> list[FaultSpec]:
+        return [
+            FaultSpec(
+                "DISK-TORN",
+                "tears the WAL append of stock updates",
+                SqlPatternTrigger(r"UPDATE\s+stock"),
+                TornWriteEffect(),
+                kind=FailureKind.STORAGE,
+                detectability=Detectability.SELF_EVIDENT,
+            ),
+            FaultSpec(
+                "DISK-LOST",
+                "loses the WAL append of district updates",
+                SqlPatternTrigger(r"UPDATE\s+district"),
+                LostFlushEffect(),
+                kind=FailureKind.STORAGE,
+                detectability=Detectability.NON_SELF_EVIDENT,
+            ),
+            FaultSpec(
+                "DISK-ROT",
+                "bit rot on the WAL append of history inserts",
+                SqlPatternTrigger(r"INSERT\s+INTO\s+history"),
+                ChecksumCorruptionEffect(),
+                kind=FailureKind.STORAGE,
+                detectability=Detectability.SELF_EVIDENT,
+            ),
+        ]
+
+    def build(medium: MemoryMedium) -> DiverseServer:
+        return DiverseServer(
+            [make_server("IB", storm_faults()), make_server("OR"), make_server("MS")],
+            config=ServerConfig(
+                adjudication="majority",
+                durability=DurabilityManager(medium, checkpoint_interval=48),
+            ),
+        )
+
+    disk = MemoryMedium()
+    server = build(disk)
+    runner = WorkloadRunner(server, seed=7)
+    runner.setup()
+    metrics = runner.run(count)
+    stats = server.stats
+    print(f"phase 1 -- durable 3v majority under disk storm: "
+          f"{metrics.transactions} transactions, "
+          f"{metrics.statements_per_second:.0f} stmt/s, "
+          f"disagreements={metrics.detected_disagreements}")
+    print(f"WAL records={stats.wal_records} torn={stats.wal_torn_writes} "
+          f"lost={stats.wal_lost_flushes} corrupt={stats.wal_corruptions} "
+          f"durable checkpoints={stats.durable_checkpoints}")
+
+    restarted = build(disk.clone())
+    recovery = restarted.durability.recover_server()
+    print(f"phase 2 -- power cut + restart: write log restored "
+          f"({recovery.write_log} statements), "
+          f"crashed={recovery.crashed or 'none'} "
+          f"healed={recovery.healed or 'none'}")
+    for key, report in sorted(recovery.reports.items()):
+        print(f"  {key}: checkpoint={report.checkpoint or '-'} "
+              f"redone={report.redone} dropped bytes={report.dropped_bytes} "
+              f"stop={report.stopped or 'clean'}")
+    disagreements = recovery.residual_disagreements
+    print(f"  residual disagreements: {disagreements if disagreements else 'none'}")
+
+    ib = restarted.replica("IB")
+    restarted.supervisor.retire(ib)
+    restarted.rebuild("IB")
+    runner2 = WorkloadRunner(restarted, seed=11)
+    metrics2 = runner2.run(count)
+    restarted.drive_rebuilds()
+    stats2 = restarted.stats
+    print(f"phase 3 -- IB retired and rebuilt online under "
+          f"{metrics2.transactions} live transactions: "
+          f"disagreements={metrics2.detected_disagreements}")
+    print(f"rebuilds started={stats2.rebuilds_started} "
+          f"completed={stats2.rebuilds_completed} "
+          f"failed={stats2.rebuilds_failed} "
+          f"delta replayed={stats2.rebuild_replayed_statements}")
+    print(f"IB final state: {ib.state.value} "
+          f"(last rebuild took {ib.health.last_rebuild_duration} tick(s))")
+    print(f"consistency after rebuild: "
+          f"{restarted.verify_consistency() or 'all replicas agree'}")
+    return 0
+
+
 def cmd_report(path: str) -> int:
     from repro.study.reporting import study_report_markdown
 
@@ -312,6 +419,9 @@ def main(argv: list[str]) -> int:
     if command == "hangstorm":
         count = int(argv[1]) if len(argv) > 1 else 120
         return cmd_hangstorm(count)
+    if command == "diskstorm":
+        count = int(argv[1]) if len(argv) > 1 else 120
+        return cmd_diskstorm(count)
     if command == "report":
         return cmd_report(argv[1] if len(argv) > 1 else "study_report.md")
     if command == "export":

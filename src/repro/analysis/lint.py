@@ -37,6 +37,26 @@ the script-level analyses can silently drift apart:
     means the analyzer would tell the comparator to trust an agreement
     that does not exist.
 
+The durability bug bank (:mod:`repro.durability.bank`) is gated by
+three more checks:
+
+``storage-dead-fault``
+    Every banked storage fault's trigger must statically match at
+    least one statement of its own repro script
+    (:func:`repro.faults.audit.dead_storage_faults`) — a fault that
+    never reaches the WAL append path tests nothing.
+
+``storage-duplicate-slice``
+    No two banked repros may minimize to the same trigger slice: equal
+    slices exercise the same fault path and one entry is redundant.
+
+``storage-groundtruth-drift``
+    Replaying each banked repro through a power cut
+    (:func:`repro.durability.bank.classify_repro`) must reproduce the
+    banked ground truth: the expected counter bucket, an acceptable
+    prefix-scan stop reason, the expected number of lost writes, and a
+    prefix-consistent recovered state.
+
 ``python -m repro lint --json`` emits one JSON object per finding
 (``code`` / ``severity`` / ``statement_index`` / ``script_id`` /
 ``detail``) for machine consumption in CI annotations.
@@ -106,6 +126,7 @@ def lint_corpus(corpus: "Corpus") -> list[LintFinding]:
     findings.extend(_check_dead_faults(corpus))
     findings.extend(_check_slice_reproduction(corpus))
     findings.extend(_check_agree_proven(corpus))
+    findings.extend(_check_storage_bank())
     return findings
 
 
@@ -276,6 +297,60 @@ def _check_agree_proven(corpus: "Corpus") -> list[LintFinding]:
     return findings
 
 
+def _check_storage_bank() -> list[LintFinding]:
+    """The durability bug bank's own gate: reachable triggers, unique
+    trigger slices, and power-cut classifications matching the banked
+    ground truth."""
+    from repro.durability.bank import (
+        classify_repro,
+        storage_fault_bank,
+        trigger_slice_signature,
+    )
+    from repro.faults.audit import dead_storage_faults
+
+    bank = storage_fault_bank()
+    findings: list[LintFinding] = [
+        LintFinding(
+            check="storage-dead-fault",
+            subject=f"{entry.server}:{entry.fault_id}",
+            detail=f"trigger matches no statement of its repro script "
+            f"({entry.description})",
+        )
+        for entry in dead_storage_faults(bank)
+    ]
+    slices: dict[tuple[str, ...], str] = {}
+    for report in bank:
+        signature = trigger_slice_signature(report)
+        first = slices.setdefault(signature, report.bug_id)
+        if first != report.bug_id:
+            findings.append(
+                LintFinding(
+                    check="storage-duplicate-slice",
+                    subject=report.bug_id,
+                    detail=f"trigger slice identical to {first}: the two "
+                    "repros exercise the same fault path",
+                )
+            )
+    for report in bank:
+        observed = classify_repro(report)
+        if not report.matches(observed):
+            findings.append(
+                LintFinding(
+                    check="storage-groundtruth-drift",
+                    subject=report.bug_id,
+                    detail=(
+                        f"power-cut replay observed bucket={observed.bucket} "
+                        f"stop={observed.stopped} lost={observed.lost_statements} "
+                        f"prefix_consistent={observed.prefix_consistent}; bank "
+                        f"expects bucket={report.expected_bucket} "
+                        f"stop in {sorted(report.expected_stops)} "
+                        f"lost={report.expected_lost}"
+                    ),
+                )
+            )
+    return findings
+
+
 def run_lint(
     corpus: "Corpus",
     emit: Callable[[str], None] = print,
@@ -294,6 +369,6 @@ def run_lint(
         emit(
             "lint: corpus clean (portability predictions, translator "
             "agreement, fault reachability, slice reproduction, proven "
-            "agreement)"
+            "agreement, storage-fault bank)"
         )
     return 0

@@ -77,6 +77,21 @@ WRITE_KINDS = frozenset(
     }
 )
 
+#: Statement kinds that change the schema (the subset of
+#: :data:`WRITE_KINDS` that invalidates schema-keyed caches and makes
+#: up a replica's DDL history in durable checkpoints).
+DDL_KINDS = frozenset(
+    {
+        "create_table",
+        "create_view",
+        "create_index",
+        "drop_table",
+        "drop_view",
+        "drop_index",
+        "alter_table",
+    }
+)
+
 
 class OrderVerdict(enum.Enum):
     """How stable is the result row order across correct products?"""

@@ -1,0 +1,89 @@
+"""Durable self-healing replicas: WAL, checkpoints, restart recovery.
+
+The paper's fault-tolerant-node sketch assumes a failed replica can be
+brought back and re-synced; this package makes that real for the
+simulated deployment:
+
+* :mod:`repro.durability.medium` — byte-level storage media (memory
+  and file), the "disk" under everything else;
+* :mod:`repro.durability.wal` — checksummed, length-prefixed
+  write-ahead log with prefix-salvage scanning;
+* :mod:`repro.durability.checkpoint` — checksummed logical engine
+  snapshots (DDL history + typed row dumps);
+* :mod:`repro.durability.recovery` — ARIES-lite restart recovery
+  (checkpoint restore, WAL redo, open-transaction undo);
+* :mod:`repro.durability.session` — the single-product durable
+  harness (bug bank, property tests, benchmarks);
+* :mod:`repro.durability.manager` — middleware integration: per-replica
+  dialect-translated WALs, durable checkpoints, whole-deployment
+  restart recovery with majority healing;
+* :mod:`repro.durability.bank` — minimized storage-fault repro
+  scripts with lint-checked ground truth.
+"""
+
+from repro.durability.bank import (
+    StorageBugReport,
+    StorageClassification,
+    classify_repro,
+    storage_fault_bank,
+    trigger_slice_signature,
+)
+from repro.durability.checkpoint import (
+    CheckpointInvalid,
+    CheckpointStore,
+    build_checkpoint,
+)
+from repro.durability.manager import (
+    DurabilityManager,
+    ReplicaStore,
+    ServerRecovery,
+)
+from repro.durability.medium import (
+    FileMedium,
+    MemoryMedium,
+    StorageMedium,
+    medium_from_path,
+)
+from repro.durability.recovery import (
+    RecoveryReport,
+    apply_checkpoint,
+    engine_state_signature,
+    recover_engine,
+)
+from repro.durability.session import DurableSession, classify_storage_effect
+from repro.durability.wal import (
+    WalRecord,
+    WalScan,
+    WriteAheadLog,
+    encode_record,
+    scan_records,
+)
+
+__all__ = [
+    "CheckpointInvalid",
+    "CheckpointStore",
+    "DurabilityManager",
+    "DurableSession",
+    "FileMedium",
+    "MemoryMedium",
+    "RecoveryReport",
+    "ReplicaStore",
+    "ServerRecovery",
+    "StorageBugReport",
+    "StorageClassification",
+    "StorageMedium",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "apply_checkpoint",
+    "build_checkpoint",
+    "classify_repro",
+    "classify_storage_effect",
+    "encode_record",
+    "engine_state_signature",
+    "medium_from_path",
+    "recover_engine",
+    "scan_records",
+    "storage_fault_bank",
+    "trigger_slice_signature",
+]

@@ -1,0 +1,166 @@
+"""Durable checkpoints: checksummed logical snapshots of one engine.
+
+A checkpoint is *logical*, not a byte image: the schema is stored as
+the replica's own DDL history (replayed verbatim on restore, which
+rebuilds tables, views, indexes, and their constraint metadata through
+the ordinary execution path) and the data as per-table row dumps in a
+tagged JSON codec covering every scalar the engine stores (NULL,
+booleans, integers, floats, strings, ``Decimal``, ``date``,
+``datetime``).  Alongside them it records the WAL watermark: the LSN
+from which redo must resume.
+
+Checkpoints share the WAL's checksummed framing (length + CRC32 +
+JSON payload) and the same distrust: a checkpoint that fails its
+checksum or fails to apply is skipped and recovery falls back to the
+previous one — or to a full-history redo when none survive.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import struct
+import zlib
+from decimal import Decimal
+from typing import Any, Optional
+
+from repro.durability.medium import StorageMedium
+
+_HEADER = struct.Struct("<II")
+
+
+class CheckpointInvalid(Exception):
+    """A checkpoint blob failed validation and must not be trusted."""
+
+
+# -- value codec ----------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """JSON-safe encoding of one stored scalar (type-preserving)."""
+    if isinstance(value, Decimal):
+        return {"$": "decimal", "v": str(value)}
+    if isinstance(value, datetime.datetime):
+        return {"$": "datetime", "v": value.isoformat()}
+    if isinstance(value, datetime.date):
+        return {"$": "date", "v": value.isoformat()}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        tag, text = value.get("$"), value.get("v")
+        if tag == "decimal":
+            return Decimal(text)
+        if tag == "datetime":
+            return datetime.datetime.fromisoformat(text)
+        if tag == "date":
+            return datetime.date.fromisoformat(text)
+        raise CheckpointInvalid(f"unknown value tag {tag!r}")
+    return value
+
+
+def encode_row(row: list[Any]) -> list[Any]:
+    return [encode_value(value) for value in row]
+
+
+def decode_row(row: list[Any]) -> list[Any]:
+    return [decode_value(value) for value in row]
+
+
+# -- blob framing ---------------------------------------------------------
+
+
+def pack_checkpoint(payload: dict) -> bytes:
+    blob = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+    return _HEADER.pack(len(blob), zlib.crc32(blob)) + blob
+
+
+def unpack_checkpoint(data: bytes) -> dict:
+    if len(data) < _HEADER.size:
+        raise CheckpointInvalid("truncated checkpoint header")
+    length, checksum = _HEADER.unpack_from(data, 0)
+    blob = data[_HEADER.size:_HEADER.size + length]
+    if len(blob) != length:
+        raise CheckpointInvalid("truncated checkpoint payload")
+    if zlib.crc32(blob) != checksum:
+        raise CheckpointInvalid("checkpoint checksum mismatch")
+    try:
+        payload = json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise CheckpointInvalid(f"undecodable checkpoint: {error}") from None
+    if not isinstance(payload, dict) or "lsn" not in payload:
+        raise CheckpointInvalid("checkpoint payload missing fields")
+    return payload
+
+
+def build_checkpoint(
+    engine: Any, *, lsn: int, ddl: list[str], taken_at: float = 0.0
+) -> dict:
+    """The logical snapshot payload of one engine at WAL position ``lsn``."""
+    tables = []
+    for data in engine.storage.tables():
+        tables.append(
+            {
+                "name": data.name,
+                "columns": data.column_count,
+                "rows": [encode_row(list(row)) for row in data.snapshot()],
+            }
+        )
+    return {
+        "lsn": lsn,
+        "generation": engine.catalog.generation,
+        "taken_at": taken_at,
+        "ddl": list(ddl),
+        "tables": tables,
+    }
+
+
+class CheckpointStore:
+    """Numbered checkpoint blobs for one replica on a medium.
+
+    Keeps the last ``keep`` checkpoints; older ones are pruned after a
+    successful save, so a checkpoint torn mid-write never leaves the
+    replica without a fallback.
+    """
+
+    def __init__(self, medium: StorageMedium, prefix: str, *, keep: int = 2) -> None:
+        self.medium = medium
+        self.prefix = prefix
+        self.keep = max(1, keep)
+
+    def _names(self) -> list[str]:
+        return self.medium.names(self.prefix + "/ckpt-")
+
+    def _sequence(self, name: str) -> int:
+        try:
+            return int(name.rsplit("-", 1)[1])
+        except (IndexError, ValueError):
+            return -1
+
+    def save(self, payload: dict) -> str:
+        existing = self._names()
+        seq = max((self._sequence(name) for name in existing), default=-1) + 1
+        name = f"{self.prefix}/ckpt-{seq:08d}"
+        self.medium.write(name, pack_checkpoint(payload))
+        for stale in sorted(existing, key=self._sequence)[: max(0, len(existing) + 1 - self.keep)]:
+            self.medium.delete(stale)
+        return name
+
+    def load_all(self) -> list[tuple[str, dict]]:
+        """Valid checkpoints, newest first; corrupt blobs are skipped."""
+        found: list[tuple[str, dict]] = []
+        for name in sorted(self._names(), key=self._sequence, reverse=True):
+            try:
+                found.append((name, unpack_checkpoint(self.medium.read(name))))
+            except CheckpointInvalid:
+                continue
+        return found
+
+    def load_latest(self) -> Optional[tuple[str, dict]]:
+        candidates = self.load_all()
+        return candidates[0] if candidates else None
+
+    def clear(self) -> None:
+        for name in self._names():
+            self.medium.delete(name)

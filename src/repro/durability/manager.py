@@ -1,0 +1,298 @@
+"""Durability for the diverse middleware: per-replica WALs, durable
+checkpoints, and whole-deployment restart recovery.
+
+Attach a :class:`DurabilityManager` to a
+:class:`~repro.middleware.server.DiverseServer` via
+``ServerConfig(durability=...)`` and every committed write is logged
+twice:
+
+* once to a **shared WAL** in middleware SQL (the durable form of the
+  server's in-memory write log, from which ``restore_write_log``
+  rebuilds adjudication state after a restart), and
+* once per replica, **translated to that replica's dialect** — the
+  text supervisor replay would feed it — with the replica's own
+  storage-phase faults applied to the encoded bytes.  A torn write on
+  the InterBase replica damages only the InterBase log: fault
+  *diversity* extends to the disks.
+
+A replica whose translation refuses a statement
+(:class:`~repro.errors.FeatureNotSupported`) gets no record — it never
+applied the write in service either, and redo would refuse it again.
+
+Checkpoints are taken on a committed-write cadence for every ACTIVE
+replica (quarantined state is not trustworthy; a freshly recovered or
+rebuilt replica is re-baselined through the server's recovery hook
+instead).  :meth:`recover_server` is the full restart path: rebuild
+the write log from the shared WAL, run ARIES-lite recovery on every
+replica, then let the healthy majority adjudicate — replicas whose
+recovered state signature is out-voted are quarantined and repaired
+by ordinary supervisor replay before service resumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.analysis.reachability import StaticContext
+from repro.analysis.verdicts import DDL_KINDS
+from repro.durability.checkpoint import CheckpointStore, build_checkpoint
+from repro.durability.medium import StorageMedium
+from repro.durability.recovery import (
+    RecoveryReport,
+    engine_state_signature,
+    recover_engine,
+)
+from repro.durability.session import classify_storage_effect
+from repro.durability.wal import WriteAheadLog
+from repro.errors import EngineCrash, FeatureNotSupported
+from repro.sqlengine.analysis import StatementTraits, extract_traits
+from repro.sqlengine.parser import parse_statement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.middleware.server import DiverseServer, Replica
+
+#: Medium name of the shared (middleware-form) write-ahead log.
+SHARED_WAL = "_shared/wal"
+
+
+@dataclass
+class ReplicaStore:
+    """One replica's durable artifacts on the medium."""
+
+    key: str
+    wal: WriteAheadLog
+    checkpoints: CheckpointStore
+    #: The replica's full translated DDL history (checkpoint schema).
+    ddl_history: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ServerRecovery:
+    """Outcome of one whole-deployment restart recovery."""
+
+    #: Statements restored into the middleware write log.
+    write_log: int = 0
+    #: Per-replica ARIES-lite reports.
+    reports: dict[str, RecoveryReport] = field(default_factory=dict)
+    #: Replicas that crashed during redo and were handed to the
+    #: supervisor's backoff machinery.
+    crashed: list[str] = field(default_factory=list)
+    #: Replicas whose recovered state lost the majority vote and were
+    #: healed by supervisor replay.
+    healed: list[str] = field(default_factory=list)
+    #: Tables still disagreeing after healing (should be empty).
+    residual_disagreements: dict[str, list[str]] = field(default_factory=dict)
+
+
+class DurabilityManager:
+    """Owns the durable state of one :class:`DiverseServer`."""
+
+    def __init__(
+        self,
+        medium: StorageMedium,
+        *,
+        checkpoint_interval: Optional[int] = 64,
+        keep_checkpoints: int = 2,
+    ) -> None:
+        self.medium = medium
+        self.checkpoint_interval = checkpoint_interval
+        self.keep_checkpoints = keep_checkpoints
+        self._server: Optional["DiverseServer"] = None
+        self._stores: dict[str, ReplicaStore] = {}
+        self._shared: Optional[WriteAheadLog] = None
+        self._last_checkpoint_writes = 0
+
+    def attach(self, server: "DiverseServer") -> None:
+        if self._server is not None and self._server is not server:
+            raise ValueError("a DurabilityManager serves exactly one server")
+        self._server = server
+        self._shared = WriteAheadLog(self.medium, SHARED_WAL)
+        for replica in server.replicas:
+            self._stores[replica.key] = ReplicaStore(
+                key=replica.key,
+                wal=WriteAheadLog(self.medium, f"{replica.key}/wal"),
+                checkpoints=CheckpointStore(
+                    self.medium, replica.key, keep=self.keep_checkpoints
+                ),
+            )
+        self._last_checkpoint_writes = server.stats.writes
+
+    @property
+    def stats(self):
+        return self._server.stats
+
+    def store(self, key: str) -> ReplicaStore:
+        return self._stores[key]
+
+    # -- write path -----------------------------------------------------
+
+    def log_write(self, bound_sql: str, traits: StatementTraits) -> None:
+        """Append one committed write to the shared and replica WALs."""
+        server = self._server
+        self._shared.append(bound_sql, server.pipeline.generation)
+        is_ddl = traits.kind in DDL_KINDS
+        for replica in server.replicas:
+            store = self._stores[replica.key]
+            try:
+                translated = server.pipeline.translation(
+                    bound_sql, replica.product.descriptor
+                )
+            except FeatureNotSupported:
+                continue
+            ctx = StaticContext(translated, traits)
+            injector = replica.product.injector
+
+            def mutate(
+                data: bytes, _ctx=ctx, _injector=injector
+            ) -> Optional[bytes]:
+                mutated, fired = _injector.mutate_storage(_ctx, data)
+                for fault in fired:
+                    self._count_storage_fault(fault)
+                return mutated
+
+            store.wal.append(
+                translated,
+                replica.product.engine.catalog.generation,
+                mutate=mutate,
+            )
+            self.stats.wal_records += 1
+            if is_ddl:
+                store.ddl_history.append(translated)
+
+    def _count_storage_fault(self, fault) -> None:
+        bucket = classify_storage_effect(fault.effect)
+        if bucket == "torn":
+            self.stats.wal_torn_writes += 1
+        elif bucket == "lost":
+            self.stats.wal_lost_flushes += 1
+        elif bucket == "corrupt":
+            self.stats.wal_corruptions += 1
+
+    # -- checkpoints ----------------------------------------------------
+
+    def maybe_checkpoint(self) -> None:
+        """Durably checkpoint every ACTIVE replica on the write cadence
+        (skipped while a transaction is open, like supervisor
+        checkpoints)."""
+        interval = self.checkpoint_interval
+        if not interval:
+            return
+        if self.stats.writes - self._last_checkpoint_writes < interval:
+            return
+        server = self._server
+        active = server.active_replicas()
+        if not active:
+            return
+        if any(r.product.engine.transactions.in_transaction for r in active):
+            return
+        for replica in active:
+            self.checkpoint_replica(replica)
+        self._last_checkpoint_writes = self.stats.writes
+
+    def checkpoint_replica(self, replica: "Replica") -> str:
+        """Write one replica's durable checkpoint at its current WAL
+        position (also the re-baseline step after recovery/rebuild)."""
+        store = self._stores[replica.key]
+        name = store.checkpoints.save(
+            build_checkpoint(
+                replica.product.engine,
+                lsn=store.wal.next_lsn,
+                ddl=store.ddl_history,
+                taken_at=self._server.clock.now,
+            )
+        )
+        self.stats.durable_checkpoints += 1
+        return name
+
+    def on_replica_recovered(self, replica: "Replica") -> None:
+        """Server hook: a replica just rejoined via supervisor replay
+        or online rebuild; its durable baseline must catch up."""
+        store = self._stores[replica.key]
+        store.ddl_history = self._translated_ddl_history(replica)
+        self.checkpoint_replica(replica)
+
+    def _translated_ddl_history(self, replica: "Replica") -> list[str]:
+        """The replica's DDL history recomputed from the middleware
+        write log (translation is pure, so this is always available)."""
+        history: list[str] = []
+        server = self._server
+        for sql in server._write_log:
+            _, traits, _ = server.pipeline.parsed(sql)
+            if traits.kind not in DDL_KINDS:
+                continue
+            try:
+                history.append(
+                    server.pipeline.translation(sql, replica.product.descriptor)
+                )
+            except FeatureNotSupported:
+                continue
+        return history
+
+    # -- restart recovery ----------------------------------------------
+
+    def recover_server(self) -> ServerRecovery:
+        """Full restart: recover every replica from the medium, restore
+        the middleware write log, and heal minority replicas by
+        supervisor replay.  Call on a freshly constructed server
+        attached to the surviving medium."""
+        server = self._server
+        outcome = ServerRecovery()
+
+        shared_scan = self._shared.scan()
+        server.restore_write_log([r.sql for r in shared_scan.records])
+        self._shared.truncate_to_valid()
+        outcome.write_log = len(shared_scan.records)
+
+        from repro.middleware.supervisor import ReplicaState
+
+        for replica in server.replicas:
+            store = self._stores[replica.key]
+            try:
+                report = recover_engine(
+                    replica.product.engine,
+                    store.wal,
+                    store.checkpoints,
+                    replica=replica.key,
+                    execute=replica.product.execute,
+                )
+            except EngineCrash:
+                replica.product.restart()
+                outcome.crashed.append(replica.key)
+                server.supervisor.quarantine(replica)
+                continue
+            outcome.reports[replica.key] = report
+            replica.state = ReplicaState.ACTIVE
+            store.ddl_history = self._translated_ddl_history(replica)
+
+        outcome.healed = self._heal_minority()
+        outcome.residual_disagreements = server.verify_consistency()
+        self.stats.durable_recoveries += 1
+        return outcome
+
+    def _heal_minority(self) -> list[str]:
+        """Adjudicate recovered states: replicas outside the largest
+        signature group are quarantined (supervisor replay repairs them
+        from the restored write log)."""
+        server = self._server
+        active = server.active_replicas()
+        if len(active) < 2:
+            return []
+        groups: dict[str, list] = {}
+        for replica in active:
+            signature = engine_state_signature(replica.product.engine)
+            groups.setdefault(signature, []).append(replica)
+        if len(groups) == 1:
+            return []
+        majority = max(
+            groups.values(),
+            key=lambda members: (len(members), -server.replicas.index(members[0])),
+        )
+        healed: list[str] = []
+        for members in groups.values():
+            if members is majority:
+                continue
+            for replica in members:
+                healed.append(replica.key)
+                server.supervisor.quarantine(replica)
+        return healed

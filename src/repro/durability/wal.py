@@ -1,0 +1,190 @@
+"""The write-ahead log: checksummed, length-prefixed redo records.
+
+Record framing (little-endian)::
+
+    +----------------+----------------+------------------------+
+    | payload length | CRC32(payload) | payload (JSON, UTF-8)  |
+    |    4 bytes     |    4 bytes     |   ``length`` bytes     |
+    +----------------+----------------+------------------------+
+
+The payload carries ``{"lsn": n, "gen": g, "sql": text}``: a
+monotonically increasing log sequence number, the replica catalog's
+``generation`` counter observed when the statement committed (a cheap
+cross-check that redo reproduces the same schema history), and the
+committed write statement in the replica's own dialect.
+
+The scan (:meth:`WriteAheadLog.scan`) is the recovery contract: read
+records in order and stop at the *first* invalid one — a torn header,
+a torn or corrupt payload (CRC mismatch), undecodable JSON, or an LSN
+that is not the expected successor (a lost flush left a gap).  Every
+byte after the first invalid record is discarded, so recovery always
+lands on a prefix of the committed history — never a gapped subset,
+which is what makes the power-cut property ("recover to a state some
+prefix of the run produces") hold by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.durability.medium import StorageMedium
+
+_HEADER = struct.Struct("<II")
+
+#: Upper bound on a record payload; anything larger read from disk is
+#: treated as a torn/garbage header rather than an allocation request.
+MAX_PAYLOAD = 1 << 24
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One committed write statement as recovered from the log."""
+
+    lsn: int
+    generation: int
+    sql: str
+
+
+@dataclass
+class WalScan:
+    """Result of a tolerant prefix scan of one WAL."""
+
+    records: list[WalRecord]
+    #: Bytes covered by the valid record prefix.
+    valid_bytes: int
+    #: Total bytes present on the medium.
+    total_bytes: int
+    #: Why the scan stopped early (``None`` when the log was clean):
+    #: ``torn-header`` / ``torn-payload`` / ``checksum-mismatch`` /
+    #: ``undecodable`` / ``lsn-gap``.
+    stopped: Optional[str] = None
+
+    @property
+    def dropped_bytes(self) -> int:
+        return self.total_bytes - self.valid_bytes
+
+    @property
+    def clean(self) -> bool:
+        return self.stopped is None
+
+
+def encode_record(lsn: int, generation: int, sql: str) -> bytes:
+    payload = json.dumps(
+        {"lsn": lsn, "gen": generation, "sql": sql}, ensure_ascii=False
+    ).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_records(blob: bytes) -> WalScan:
+    """Decode the valid record prefix of raw WAL bytes."""
+    records: list[WalRecord] = []
+    offset = 0
+    valid = 0
+    expected_lsn = 0
+    stopped: Optional[str] = None
+    total = len(blob)
+    while offset < total:
+        if offset + _HEADER.size > total:
+            stopped = "torn-header"
+            break
+        length, checksum = _HEADER.unpack_from(blob, offset)
+        if length > MAX_PAYLOAD:
+            stopped = "torn-header"
+            break
+        start = offset + _HEADER.size
+        end = start + length
+        if end > total:
+            stopped = "torn-payload"
+            break
+        payload = blob[start:end]
+        if zlib.crc32(payload) != checksum:
+            stopped = "checksum-mismatch"
+            break
+        try:
+            fields = json.loads(payload.decode("utf-8"))
+            record = WalRecord(
+                lsn=int(fields["lsn"]),
+                generation=int(fields["gen"]),
+                sql=str(fields["sql"]),
+            )
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            stopped = "undecodable"
+            break
+        if record.lsn != expected_lsn:
+            stopped = "lsn-gap"
+            break
+        records.append(record)
+        expected_lsn += 1
+        offset = end
+        valid = end
+    return WalScan(
+        records=records, valid_bytes=valid, total_bytes=total, stopped=stopped
+    )
+
+
+class WriteAheadLog:
+    """Append/scan access to one replica's redo log on a medium.
+
+    ``append`` runs the encoded record through an optional ``mutate``
+    hook before it reaches the medium — that is where the storage
+    fault effects (torn write, lost flush, checksum corruption) bite,
+    modelling a disk that lies between the commit and the platter.
+    """
+
+    def __init__(self, medium: StorageMedium, name: str) -> None:
+        self.medium = medium
+        self.name = name
+        self._next_lsn: Optional[int] = None
+
+    @property
+    def next_lsn(self) -> int:
+        """The LSN the next committed write will carry."""
+        if self._next_lsn is None:
+            self._next_lsn = len(self.scan().records)
+        return self._next_lsn
+
+    def append(
+        self,
+        sql: str,
+        generation: int,
+        mutate: Optional[Callable[[bytes], Optional[bytes]]] = None,
+    ) -> WalRecord:
+        """Encode and append one committed write statement.
+
+        The LSN advances even when ``mutate`` drops the record (a lost
+        flush): the statement *did* commit, the log just never learned
+        — exactly the gap the scan detects.
+        """
+        lsn = self.next_lsn
+        record = WalRecord(lsn=lsn, generation=generation, sql=sql)
+        data: Optional[bytes] = encode_record(lsn, generation, sql)
+        if mutate is not None:
+            data = mutate(data)
+        if data:
+            self.medium.append(self.name, data)
+        self._next_lsn = lsn + 1
+        return record
+
+    def scan(self) -> WalScan:
+        return scan_records(self.medium.read(self.name))
+
+    def truncate_to_valid(self) -> int:
+        """Discard everything past the valid prefix; returns bytes cut.
+
+        Run by recovery after redo so the log is clean for the next
+        incarnation — the idempotence half of the power-cut property.
+        """
+        scan = self.scan()
+        if scan.dropped_bytes:
+            self.medium.truncate(self.name, scan.valid_bytes)
+        self._next_lsn = len(scan.records)
+        return scan.dropped_bytes
+
+    def reset(self) -> None:
+        """Wipe the log (fresh install / post-rebuild re-baseline)."""
+        self.medium.delete(self.name)
+        self._next_lsn = 0

@@ -20,16 +20,20 @@ Public surface:
 from repro.faults.audit import TimeoutAuditEntry
 from repro.faults.effects import (
     BehaviourFlagEffect,
+    ChecksumCorruptionEffect,
     CrashEffect,
     DialectRenderEffect,
     ErrorEffect,
     HangEffect,
+    LostFlushEffect,
     PerformanceEffect,
     RowDropEffect,
     RowDuplicateEffect,
     RowcountSkewEffect,
     ScanOrderEffect,
     StallEffect,
+    StorageEffect,
+    TornWriteEffect,
     ValueSkewEffect,
 )
 from repro.faults.injector import FaultInjector
@@ -46,6 +50,7 @@ from repro.faults.triggers import (
 __all__ = [
     "AlwaysTrigger",
     "BehaviourFlagEffect",
+    "ChecksumCorruptionEffect",
     "CrashEffect",
     "DialectRenderEffect",
     "Detectability",
@@ -54,6 +59,7 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "HangEffect",
+    "LostFlushEffect",
     "PerformanceEffect",
     "RecoveryTrigger",
     "RelationTrigger",
@@ -63,8 +69,10 @@ __all__ = [
     "ScanOrderEffect",
     "SqlPatternTrigger",
     "StallEffect",
+    "StorageEffect",
     "TagTrigger",
     "TimeoutAuditEntry",
+    "TornWriteEffect",
     "TriggerContext",
     "ValueSkewEffect",
 ]

@@ -129,6 +129,33 @@ def statically_dead_faults(corpus) -> list[FaultAuditEntry]:
     ]
 
 
+def dead_storage_faults(bank) -> list[FaultAuditEntry]:
+    """Banked storage faults whose trigger matches no statement of
+    their own repro script — the storage-layer analogue of
+    :func:`statically_dead_faults`.
+
+    Storage faults fire on the WAL append of a committed write, so the
+    serve-phase statement contexts of the script are exactly the
+    contexts the injector will see; a trigger no context satisfies can
+    never tear, drop, or corrupt a byte.
+    """
+    from repro.analysis.reachability import script_contexts
+
+    dead: list[FaultAuditEntry] = []
+    for report in bank:
+        contexts = script_contexts(report.script)
+        if not any(report.fault.trigger.matches(ctx) for ctx in contexts):
+            dead.append(
+                FaultAuditEntry(
+                    fault_id=report.fault.fault_id,
+                    server=report.server,
+                    description=report.fault.description,
+                    heisenbug=report.fault.heisenbug,
+                )
+            )
+    return dead
+
+
 def shared_fault_coverage(study: StudyResult) -> dict[str, int]:
     """How many distinct bug scripts each multi-script fault covered
     (e.g. the PostgreSQL clustered-index fault spans six scripts)."""

@@ -1,6 +1,6 @@
 """Fault effects: what a fault does when it fires.
 
-Effects run at one of three hook points:
+Effects run at one of four hook points:
 
 * ``before`` — may raise (crashes, spurious errors) before the engine
   touches the statement;
@@ -9,7 +9,11 @@ Effects run at one of three hook points:
 * ``flag`` — never fires on its own; instead the engine consults the
   flag by name at a semantic decision point (e.g. "do I validate
   DEFAULT types?"), which is how deep semantic bugs are modelled
-  without forking the engine.
+  without forking the engine;
+* ``storage`` — mutates the encoded write-ahead-log record of a
+  committed write on its way to the durability medium (torn writes,
+  lost flushes, bit rot), so the restart-recovery path is itself
+  under fault injection.
 """
 
 from __future__ import annotations
@@ -22,13 +26,18 @@ from repro.errors import EngineCrash, SqlError
 class Effect:
     """Base effect."""
 
-    phase = "after"  # 'before' | 'after' | 'flag'
+    phase = "after"  # 'before' | 'after' | 'flag' | 'storage'
 
     def apply_before(self, ctx) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
     def apply_after(self, ctx, result):  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def apply_storage(self, ctx, payload: bytes) -> Optional[bytes]:
+        """Mutate an encoded WAL record before it hits the medium;
+        ``None`` means the record is dropped entirely (lost flush)."""
+        raise NotImplementedError  # pragma: no cover - abstract
 
 
 class CrashEffect(Effect):
@@ -319,6 +328,82 @@ class DialectRenderEffect(Effect):
                 tuple(self._render(value) for value in row) for row in result.rows
             ]
         return result
+
+
+class StorageEffect(Effect):
+    """Base for effects that corrupt the durability write path.
+
+    Storage effects fire when the middleware appends a committed write
+    to a replica's WAL: the trigger is matched against the statement
+    being logged, and :meth:`apply_storage` receives the already
+    encoded record bytes (length + CRC32 + payload).  They model the
+    classic disk failure modes — and because the WAL scan distrusts
+    everything past the first invalid record, each one exercises a
+    distinct branch of the recovery contract.
+    """
+
+    phase = "storage"
+
+    def apply_before(self, ctx) -> None:  # pragma: no cover - never called
+        return None
+
+    def apply_after(self, ctx, result):  # pragma: no cover - never called
+        return result
+
+
+class TornWriteEffect(StorageEffect):
+    """Persist only a prefix of the record: a write torn by power loss.
+
+    ``keep_fraction`` of the encoded bytes (at least one, never all)
+    survive.  Recovery detects the truncated header/payload and
+    discards the record and everything after it.
+    """
+
+    def __init__(self, keep_fraction: float = 0.5) -> None:
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be within [0, 1]")
+        self.keep_fraction = keep_fraction
+
+    def apply_storage(self, ctx, payload: bytes) -> Optional[bytes]:
+        keep = int(len(payload) * self.keep_fraction)
+        keep = max(1, min(keep, len(payload) - 1))
+        return payload[:keep]
+
+
+class LostFlushEffect(StorageEffect):
+    """Drop the record entirely: an acknowledged-but-unflushed write.
+
+    The LSN still advances (the statement committed), so the log is
+    left with a sequence gap; recovery stops redo at the gap rather
+    than replaying a history with a hole in it.
+    """
+
+    def apply_storage(self, ctx, payload: bytes) -> Optional[bytes]:
+        return None
+
+
+class ChecksumCorruptionEffect(StorageEffect):
+    """Flip bits inside the payload after the CRC was computed: bit
+    rot / a misdirected write.  The record length still parses, but
+    the checksum mismatch is detected and the record discarded.
+    """
+
+    #: First payload byte follows the 8-byte (length, CRC) header.
+    _HEADER_SIZE = 8
+
+    def __init__(self, offset: int = 0, xor: int = 0x40) -> None:
+        if xor & 0xFF == 0:
+            raise ValueError("xor mask must change at least one bit")
+        self.offset = offset
+        self.xor = xor & 0xFF
+
+    def apply_storage(self, ctx, payload: bytes) -> Optional[bytes]:
+        if len(payload) <= self._HEADER_SIZE:
+            return payload  # pragma: no cover - records always carry a payload
+        body = self._HEADER_SIZE + self.offset % (len(payload) - self._HEADER_SIZE)
+        mutated = bytearray(payload)
+        mutated[body] ^= self.xor
+        return bytes(mutated)
 
 
 class BehaviourFlagEffect(Effect):

@@ -120,6 +120,26 @@ class FaultInjector:
             result = fault.effect.apply_after(ctx, result)
         return result
 
+    def mutate_storage(self, ctx, payload):
+        """Run a WAL record through every matching storage-phase fault.
+
+        Called by the durability layer when a committed write is
+        appended to this server's WAL; ``ctx`` describes the logged
+        statement.  Returns ``(data, fired)`` where ``data`` is the
+        (possibly mutated) record bytes — ``None`` when a lost-flush
+        effect dropped it — and ``fired`` lists the fault specs that
+        activated, for the middleware's failure-mode counters.
+        """
+        fired = []
+        data = payload
+        for fault in self._active_faults(ctx, phase="storage"):
+            self._record(fault, ctx, phase="storage")
+            fired.append(fault)
+            data = fault.effect.apply_storage(ctx, data)
+            if data is None:
+                break
+        return data, fired
+
     # -- internals ------------------------------------------------------------
 
     def _active_faults(self, ctx, phase: str):

@@ -18,6 +18,10 @@ class FailureKind(Enum):
     INCORRECT_RESULT = "incorrect_result"
     PERFORMANCE = "performance"
     OTHER = "other"
+    #: Durability extension (not in the paper's study data): the fault
+    #: corrupts the write path to stable storage — torn writes, lost
+    #: flushes, bit rot — and manifests only at restart recovery.
+    STORAGE = "storage"
 
 
 class Detectability(Enum):

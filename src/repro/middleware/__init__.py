@@ -13,11 +13,13 @@ from repro.middleware.normalizer import normalize_result, normalize_signature, n
 from repro.middleware.pipeline import PipelineStats, StatementPipeline
 from repro.middleware.server import (
     DiverseServer,
+    MiddlewareStats,
     PreparedStatement,
     ServerConfig,
     replicated_server,
 )
 from repro.middleware.supervisor import (
+    RebuildProgress,
     ReplicaState,
     ReplicaSupervisor,
     SupervisorPolicy,
@@ -28,8 +30,10 @@ from repro.sqlengine.engine import Result
 __all__ = [
     "ComparisonResult",
     "DiverseServer",
+    "MiddlewareStats",
     "PipelineStats",
     "PreparedStatement",
+    "RebuildProgress",
     "ReplicaState",
     "ReplicaSupervisor",
     "Result",

@@ -73,7 +73,12 @@ class ReplicaState(Enum):
         can still bring the replica back.
     ``RETIRED``
         The circuit breaker tripped: too many failed recoveries inside
-        the window (a crash loop).  Terminal unless forced.
+        the window (a crash loop).  Exits only through an online
+        rebuild (or a forced manual recovery).
+    ``REBUILDING``
+        Being re-seeded from a healthy-majority snapshot while the
+        middleware keeps serving: seed restore, then write-delta
+        replay, then a quorum consistency check gates re-admission.
     """
 
     ACTIVE = "active"
@@ -81,6 +86,7 @@ class ReplicaState(Enum):
     QUARANTINED = "quarantined"
     FAILED = "failed"
     RETIRED = "retired"
+    REBUILDING = "rebuilding"
 
 
 class VirtualClock:
@@ -155,6 +161,20 @@ class SupervisorPolicy:
     #: attempt (backoff, then circuit breaker).  ``None`` falls back to
     #: ``statement_deadline``.
     recovery_deadline: Optional[float] = None
+    # -- online rebuild (RETIRED -> REBUILDING -> ACTIVE) ----------------
+    #: Donor snapshot rows copied per clock tick while seeding a
+    #: rebuild; the seed phase of a rebuild therefore costs
+    #: ``ceil(donor rows / rebuild_seed_rows)`` ticks of live traffic.
+    rebuild_seed_rows: int = 256
+    #: Write-log statements replayed per tick while a rebuilding
+    #: replica catches up with the delta accumulated since its seed
+    #: snapshot.  Catch-up converges only while this exceeds the live
+    #: write arrival rate (at most one write per tick).
+    rebuild_batch: int = 8
+    #: Start an automatic rebuild this many clock units after a replica
+    #: is retired (or a rebuild attempt fails).  ``None`` means rebuilds
+    #: are manual (:meth:`DiverseServer.rebuild`).
+    auto_rebuild_after: Optional[float] = None
 
     def backoff_delay(self, attempt: int) -> float:
         """Delay before retry ``attempt`` (attempt 0 is immediate)."""
@@ -180,6 +200,29 @@ class Checkpoint:
 
 
 @dataclass
+class RebuildProgress:
+    """State of one in-flight online rebuild.
+
+    The donor snapshot is captured when the rebuild starts; seeding is
+    charged in ticks proportional to the donor's row count, after
+    which the snapshot is installed and the write-log delta past
+    ``cursor`` is replayed batch-by-batch until the replica has caught
+    up with live traffic.
+    """
+
+    started_at: float
+    snapshot: EngineSnapshot
+    #: Next write-log index to replay once seeded.
+    cursor: int
+    #: Donor rows to copy during the seed phase, and progress so far.
+    seed_rows_total: int
+    seed_rows_loaded: int = 0
+    seeded: bool = False
+    #: Delta statements replayed so far.
+    replayed: int = 0
+
+
+@dataclass
 class ReplicaHealth:
     """Supervision bookkeeping for one replica."""
 
@@ -199,6 +242,14 @@ class ReplicaHealth:
     replay_lengths: list[int] = field(default_factory=list)
     #: Virtual time the last successful recovery took from quarantine.
     last_recovery_duration: float = 0.0
+    #: Virtual time the replica was retired (schedules auto-rebuild).
+    retired_at: Optional[float] = None
+    #: The in-flight online rebuild, while state is REBUILDING.
+    rebuild: Optional[RebuildProgress] = None
+    #: Completed online rebuilds.
+    rebuilds: int = 0
+    #: Virtual time the last successful rebuild took (rebuild MTTR).
+    last_rebuild_duration: float = 0.0
 
 
 class ReplicaSupervisor:
@@ -237,7 +288,9 @@ class ReplicaSupervisor:
 
     def poll(self) -> None:
         """Attempt recovery on every quarantined replica whose backoff
-        has elapsed."""
+        has elapsed, advance in-flight rebuilds one step, and start
+        scheduled automatic rebuilds of retired replicas."""
+        auto_after = self.policy.auto_rebuild_after
         for replica in self._server.replicas:
             health = replica.health
             if (
@@ -246,6 +299,15 @@ class ReplicaSupervisor:
                 and health.next_attempt_at <= self.clock.now
             ):
                 self.attempt_recovery(replica)
+            elif replica.state is ReplicaState.REBUILDING:
+                self.advance_rebuild(replica)
+            elif (
+                replica.state is ReplicaState.RETIRED
+                and auto_after is not None
+                and health.retired_at is not None
+                and self.clock.now - health.retired_at >= auto_after
+            ):
+                self.start_rebuild(replica)
 
     def maybe_checkpoint(self) -> None:
         """Snapshot all active replicas once enough writes accumulated.
@@ -303,6 +365,7 @@ class ReplicaSupervisor:
         replica.state = ReplicaState.ACTIVE
         health.attempts = 0
         health.next_attempt_at = None
+        health.retired_at = None
         health.replay_lengths.append(replayed)
         if health.quarantined_at is not None:
             health.last_recovery_duration = self.clock.now - health.quarantined_at
@@ -310,13 +373,152 @@ class ReplicaSupervisor:
         self.stats.replayed_statements += replayed
         replica.stats.recoveries += 1
         self.stats.recoveries += 1
+        self._server._replica_recovered(replica)
         return True
 
     def retire(self, replica: "Replica") -> None:
-        """Circuit breaker action: take the replica out permanently."""
+        """Circuit breaker action: take the replica out of service.
+
+        With ``auto_rebuild_after`` set the retirement schedules an
+        online rebuild; otherwise it is terminal unless forced.  The
+        in-memory checkpoint is discarded — it may capture the very
+        corruption that retired the replica.
+        """
         replica.state = ReplicaState.RETIRED
         replica.health.next_attempt_at = None
+        replica.health.retired_at = self.clock.now
+        replica.health.checkpoint = None
+        replica.health.rebuild = None
         self.stats.retirements += 1
+
+    # -- online rebuild ------------------------------------------------------
+
+    def start_rebuild(self, replica: "Replica") -> bool:
+        """Begin re-seeding a RETIRED/FAILED replica from the healthy
+        majority while the middleware keeps serving.
+
+        Captures a snapshot of the first active replica (the donor) and
+        the current write-log position; seeding and delta replay then
+        proceed incrementally, one step per clock tick.  Returns False
+        (and leaves the replica untouched) when no healthy donor is
+        available or a transaction is open — the caller may retry.
+        """
+        if replica.state not in (ReplicaState.RETIRED, ReplicaState.FAILED):
+            return False
+        donors = self._server.active_replicas()
+        if not donors:
+            return False
+        if any(r.product.engine.transactions.in_transaction for r in donors):
+            return False
+        donor = donors[0]
+        replica.health.rebuild = RebuildProgress(
+            started_at=self.clock.now,
+            snapshot=donor.product.snapshot(),
+            cursor=len(self._server._write_log),
+            seed_rows_total=donor.product.engine.storage.row_count(),
+        )
+        replica.state = ReplicaState.REBUILDING
+        self.stats.rebuilds_started += 1
+        return True
+
+    def advance_rebuild(self, replica: "Replica") -> None:
+        """One tick of rebuild progress: seed-copy budgeted rows, or
+        replay a batch of the write-log delta; admit when caught up."""
+        rebuild = replica.health.rebuild
+        if rebuild is None:  # pragma: no cover - state invariant
+            replica.state = ReplicaState.RETIRED
+            return
+        product = replica.product
+        if not rebuild.seeded:
+            rebuild.seed_rows_loaded += max(1, self.policy.rebuild_seed_rows)
+            if rebuild.seed_rows_loaded >= rebuild.seed_rows_total:
+                product.restart()  # clear any crash flag before install
+                product.restore(rebuild.snapshot)
+                rebuild.seeded = True
+            return
+        log = self._server._write_log
+        budget = max(1, self.policy.rebuild_batch)
+        engine = product.engine
+        deadline = self.policy.effective_recovery_deadline
+        engine.phase = "recover"
+        try:
+            while budget > 0 and rebuild.cursor < len(log):
+                sql = log[rebuild.cursor]
+                rebuild.cursor += 1
+                rebuild.replayed += 1
+                budget -= 1
+                self.stats.rebuild_replayed_statements += 1
+                try:
+                    translated = self._server.pipeline.translation(
+                        sql, product.descriptor
+                    )
+                    result = product.execute(translated)
+                except SqlError:
+                    continue  # errored at commit time; errors again
+                except EngineCrash:
+                    self._rebuild_failed(replica)
+                    return
+                if deadline is not None and result.virtual_cost > deadline:
+                    self._record_recovery_timeout(
+                        replica, sql, result.virtual_cost, deadline
+                    )
+                    self._rebuild_failed(replica)
+                    return
+        finally:
+            engine.phase = "serve"
+        if rebuild.cursor >= len(log) and not engine.transactions.in_transaction:
+            self._try_admit(replica)
+
+    def _try_admit(self, replica: "Replica") -> None:
+        """Re-admission gate: the rebuilt state must agree with the
+        quorum of active replicas before the replica serves again."""
+        active = self._server.active_replicas()
+        if any(r.product.engine.transactions.in_transaction for r in active):
+            return  # mid-transaction states are not comparable; retry
+        if active and not self._matches_quorum(replica, active):
+            self._rebuild_failed(replica)
+            return
+        rebuild = replica.health.rebuild
+        health = replica.health
+        replica.state = ReplicaState.ACTIVE
+        health.attempts = 0
+        health.next_attempt_at = None
+        health.failure_times.clear()
+        health.retired_at = None
+        health.rebuilds += 1
+        if rebuild is not None:
+            health.last_rebuild_duration = self.clock.now - rebuild.started_at
+        health.rebuild = None
+        self.stats.rebuilds_completed += 1
+        self._server._replica_recovered(replica)
+
+    def _matches_quorum(self, replica: "Replica", active: list) -> bool:
+        """True when the rebuilt replica's full normalized state equals
+        a majority of the active replicas' states (the
+        ``verify_consistency`` criterion applied at the admission
+        gate)."""
+        from repro.middleware.normalizer import normalize_row
+
+        def dump(candidate) -> dict:
+            engine = candidate.product.engine
+            return {
+                data.name.lower(): sorted(
+                    normalize_row(row) for row in data.snapshot()
+                )
+                for data in engine.storage.tables()
+            }
+
+        target = dump(replica)
+        matches = sum(1 for peer in active if dump(peer) == target)
+        return 2 * matches > len(active)
+
+    def _rebuild_failed(self, replica: "Replica") -> None:
+        """A rebuild step crashed, stalled, or failed admission: back
+        to RETIRED; ``auto_rebuild_after`` reschedules from now."""
+        replica.state = ReplicaState.RETIRED
+        replica.health.rebuild = None
+        replica.health.retired_at = self.clock.now
+        self.stats.rebuilds_failed += 1
 
     # -- degradation ---------------------------------------------------------
 

@@ -9,6 +9,7 @@ the failure process of 1-version vs diverse N-version configurations.
 
 from repro.reliability.availability import (
     QuarantinePolicyModel,
+    RebuildPolicyModel,
     ReplicaAvailability,
     TimeoutPolicyModel,
     service_availability,
@@ -28,6 +29,7 @@ __all__ = [
     "FailureProcessSimulator",
     "PairGain",
     "QuarantinePolicyModel",
+    "RebuildPolicyModel",
     "ReliabilityModel",
     "ReplicaAvailability",
     "SimulationOutcome",

@@ -276,3 +276,85 @@ class TimeoutPolicyModel:
             failure_rate=failure_rate + self.spurious_failure_rate(statement_rate),
             repair_rate=1.0 / repair.expected_repair_time(),
         )
+
+
+@dataclass(frozen=True)
+class RebuildPolicyModel:
+    """MTTR of an online *rebuild*: the term a retired replica adds.
+
+    :class:`QuarantinePolicyModel` prices backoff-and-replay repair of
+    a quarantined replica; once the circuit breaker retires a replica,
+    the supervisor's rebuild path takes over — re-seed from a healthy
+    donor's snapshot, replay the write delta that accumulated while
+    seeding, then verify against the quorum before re-admission.  The
+    service keeps answering throughout (rebuild is background work),
+    so this MTTR feeds the same alternating-renewal availability model:
+    a retired replica is *down* for the expected rebuild time.
+
+    The race in the middle is the interesting part: while the rebuild
+    replays its backlog at ``replay_rate``, live traffic keeps
+    appending at ``write_arrival_rate``.  The backlog drains only if
+    replay outpaces arrival; otherwise the rebuild never catches up
+    and the replica is effectively lost (infinite MTTR) — the analytic
+    form of the supervisor's rebuild deadline.
+    """
+
+    #: Rows the donor snapshot carries (seed-phase work).
+    seed_rows: float
+    #: Rows installed per unit time during the seed phase.
+    seed_rate: float
+    #: Delta statements replayed per unit time during catch-up.
+    replay_rate: float
+    #: Committed writes arriving per unit time while rebuilding.
+    write_arrival_rate: float = 0.0
+    #: Cost of the final verify-against-quorum admission gate.
+    verify_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seed_rows < 0:
+            raise ValueError("the snapshot row count must be non-negative")
+        if self.seed_rate <= 0 or self.replay_rate <= 0:
+            raise ValueError("seed and replay rates must be positive")
+        if self.write_arrival_rate < 0 or self.verify_cost < 0:
+            raise ValueError("arrival rate and verify cost must be non-negative")
+
+    @property
+    def seed_time(self) -> float:
+        """Time to install the donor snapshot."""
+        return self.seed_rows / self.seed_rate
+
+    @property
+    def catchup_time(self) -> float:
+        """Time to drain the write delta accumulated during the seed.
+
+        The backlog at seed completion is ``arrival * seed_time``; it
+        drains at the *net* rate ``replay - arrival`` and diverges
+        (infinite catch-up) when replay cannot outpace live traffic.
+        """
+        if self.write_arrival_rate == 0:
+            return 0.0
+        drain = self.replay_rate - self.write_arrival_rate
+        if drain <= 0:
+            return math.inf
+        return self.write_arrival_rate * self.seed_time / drain
+
+    def expected_rebuild_time(self) -> float:
+        """E[retirement -> re-admission]: seed + catch-up + verify."""
+        return self.seed_time + self.catchup_time + self.verify_cost
+
+    def effective_replica(self, retirement_rate: float) -> ReplicaAvailability:
+        """The rebuilt replica as an alternating-renewal process:
+        retirements at ``retirement_rate``, each repaired at the
+        rebuild MTTR.  Raises when the rebuild cannot catch up — no
+        finite repair rate exists and the replica should be modelled
+        as absent instead."""
+        mttr = self.expected_rebuild_time()
+        if not math.isfinite(mttr):
+            raise ValueError(
+                "rebuild never catches up (replay_rate <= write_arrival_rate); "
+                "model the replica as permanently retired instead"
+            )
+        return ReplicaAvailability(
+            failure_rate=retirement_rate,
+            repair_rate=1.0 / mttr,
+        )

@@ -84,6 +84,23 @@ class TableData:
             self._rows.insert(min(position, len(self._rows)), row)
         self.version += 1
 
+    def replace_rows(self, rows: Iterable[Iterable[Any]]) -> None:
+        """Bulk-load the heap from a snapshot (checkpoint restore).
+
+        Replaces all current rows; every row must match the table
+        width.  Used by the durability subsystem when re-seeding an
+        engine from a durable checkpoint or a donor snapshot — one
+        call instead of per-row INSERT replay.
+        """
+        loaded = [list(row) for row in rows]
+        for row in loaded:
+            if len(row) != self.column_count:
+                raise ValueError(
+                    f"row width {len(row)} != table width {self.column_count}"
+                )
+        self._rows = loaded
+        self.version += 1
+
     def add_column(self, default_value: Any) -> None:
         """Widen every row for ALTER TABLE ADD COLUMN."""
         self.column_count += 1
@@ -120,6 +137,14 @@ class Storage:
 
     def drop(self, name: str) -> Optional[TableData]:
         return self._tables.pop(name.lower(), None)
+
+    def tables(self) -> list[TableData]:
+        """Every table heap (stable order; durability dump path)."""
+        return [self._tables[key] for key in sorted(self._tables)]
+
+    def row_count(self) -> int:
+        """Total rows across all heaps (rebuild seeding cost model)."""
+        return sum(len(data) for data in self._tables.values())
 
     def clone(self) -> "Storage":
         """An independent copy of every table heap (see
