@@ -1,0 +1,367 @@
+"""Experiment N — what serving costs and what supervision guarantees.
+
+Three measurements over the served wire frontend (:mod:`repro.net`):
+
+* **N1: served throughput vs session count** — TPC-C terminals driving
+  the diverse middleware through the full stack (session supervisor,
+  wire codec, simulated transport, session manager) at increasing
+  session counts, next to the unserved in-process baseline.  The wire
+  tax should be a constant factor, not a cliff.
+* **N2: exactly-once fault matrix** — every network fault effect
+  (drop, delay, duplicate, reorder, corrupt-frame, connection-reset,
+  partition) crossed with every statement class (read, plain
+  non-idempotent write, analyzer-proven idempotent write).  For each
+  cell the served run must end with replica state *identical* to a
+  fault-free run of the same script: zero lost writes, zero duplicated
+  commits, and non-idempotent writes never re-executed without the
+  sequence-number dedupe guarantee.
+* **N3: shed rate vs offered load** — statements offered against a
+  session that holds a transaction open, at increasing concurrency.
+  The backpressure ladder must engage in order: park first, shed
+  cross-replica compares next (reads degrade to single-replica
+  answers), reject with a retryable overload error last.
+
+Writes ``BENCH_net.json`` next to the repository root.
+
+Run standalone for CI smoke coverage::
+
+    PYTHONPATH=src python benchmarks/bench_net.py --smoke
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.durability import engine_state_signature  # noqa: E402
+from repro.faults import (  # noqa: E402
+    ConnectionResetEffect,
+    CorruptFrameEffect,
+    DelayFrameEffect,
+    DropFrameEffect,
+    DuplicateFrameEffect,
+    FaultInjector,
+    FaultSpec,
+    PartitionEffect,
+    ReorderFrameEffect,
+    SqlPatternTrigger,
+)
+from repro.middleware import DiverseServer  # noqa: E402
+from repro.net import (  # noqa: E402
+    ClientPolicy,
+    NetPolicy,
+    NetServer,
+    SessionSupervisor,
+    SimulatedNetwork,
+)
+from repro.net import protocol  # noqa: E402
+from repro.servers import make_server  # noqa: E402
+from repro.workload import WorkloadRunner, run_interleaved  # noqa: E402
+
+SESSION_COUNTS = (1, 2, 4, 8)
+SMOKE_SESSION_COUNTS = (1, 2)
+TRANSACTIONS_PER_SESSION = 40
+SMOKE_TRANSACTIONS_PER_SESSION = 6
+MATRIX_STATEMENTS = 6
+OFFERED_LOADS = (2, 6, 10, 14)
+SMOKE_OFFERED_LOADS = (2, 10)
+
+
+def served_deployment(net_faults=(), net_policy=None):
+    """A 3-version majority deployment behind the wire frontend."""
+    server = DiverseServer(
+        [make_server("IB"), make_server("OR"), make_server("MS")],
+        adjudication="majority",
+    )
+    net_server = NetServer(server, net_policy or NetPolicy(idle_deadline=100_000.0))
+    injector = FaultInjector("net", list(net_faults)) if net_faults else None
+    network = SimulatedNetwork(net_server, injector=injector)
+    return server, net_server, network
+
+
+# -- N1: served throughput vs session count -------------------------------
+
+
+def run_n1(session_counts, transactions_each):
+    baseline = DiverseServer(
+        [make_server("IB"), make_server("OR"), make_server("MS")],
+        adjudication="majority",
+    )
+    runner = WorkloadRunner(baseline, seed=1)
+    runner.setup()
+    unserved = runner.run(transactions_each)
+
+    points = []
+    for count in session_counts:
+        _, net_server, network = served_deployment()
+        supervisors = [
+            SessionSupervisor(network, policy=ClientPolicy(request_timeout=64.0))
+            for _ in range(count)
+        ]
+        runners = [
+            WorkloadRunner(supervisor, seed=1 + index)
+            for index, supervisor in enumerate(supervisors)
+        ]
+        runners[0].setup()
+        if count == 1:
+            metrics = runners[0].run(transactions_each)
+        else:
+            metrics = run_interleaved(runners, transactions_each)
+        for supervisor in supervisors:
+            supervisor.close()
+        points.append({
+            "sessions": count,
+            "transactions": metrics.transactions,
+            "statements": metrics.statements,
+            "statements_per_second": round(metrics.statements_per_second, 1),
+            "sessions_opened": net_server.stats.sessions_opened,
+            "network_errors": metrics.network_errors,
+        })
+    return {
+        "unserved_statements_per_second": round(
+            unserved.statements_per_second, 1
+        ),
+        "served": points,
+    }
+
+
+# -- N2: exactly-once fault matrix ----------------------------------------
+
+#: (class name, trigger pattern, statement builder).  Seed rows use
+#: single-digit ids so the write trigger (three-digit values) never
+#: fires during setup.
+STATEMENT_CLASSES = (
+    ("read", r"SELECT\s+v\s+FROM\s+t",
+     lambda i: f"SELECT v FROM t WHERE id = {1 + i % 3}"),
+    ("write", r"VALUES\s*\(1\d\d",
+     lambda i: f"INSERT INTO t VALUES ({101 + i}, {101 + i})"),
+    ("idempotent_write", r"UPDATE\s+t\s+SET",
+     lambda i: f"UPDATE t SET v = {50 + i} WHERE id = {1 + i % 3}"),
+)
+
+NETWORK_EFFECTS = (
+    ("drop", lambda: DropFrameEffect(count=2)),
+    ("delay", lambda: DelayFrameEffect(delay=4.0)),
+    ("duplicate", lambda: DuplicateFrameEffect(gap=1.0)),
+    ("reorder", lambda: ReorderFrameEffect(hold=2.0)),
+    ("corrupt", lambda: CorruptFrameEffect(count=2)),
+    ("reset", lambda: ConnectionResetEffect(count=2)),
+    ("partition", lambda: PartitionEffect(duration=12.0)),
+)
+
+SETUP_STATEMENTS = (
+    "CREATE TABLE t (id INT PRIMARY KEY, v INT)",
+    "INSERT INTO t VALUES (1, 10)",
+    "INSERT INTO t VALUES (2, 20)",
+    "INSERT INTO t VALUES (3, 30)",
+)
+
+
+def run_cell_script(net_faults, build_statement, statements):
+    """Run setup + ``statements`` class statements through a supervised
+    session; return the deployment's end state and telemetry."""
+    server, net_server, network = served_deployment(net_faults)
+    supervisor = SessionSupervisor(
+        network, policy=ClientPolicy(request_timeout=8.0)
+    )
+    for sql in SETUP_STATEMENTS:
+        supervisor.execute(sql)
+    for index in range(statements):
+        supervisor.execute(build_statement(index))
+    stats = supervisor.stats
+    supervisor.close()
+    return {
+        "signature": tuple(
+            engine_state_signature(replica.product.engine)
+            for replica in server.replicas
+        ),
+        "write_log": server.write_log,
+        "disagreements": server.verify_consistency(),
+        "resends": stats.resends,
+        "safe_retries": stats.safe_retries,
+        "unsafe_aborts": stats.unsafe_aborts,
+        "reconnects": stats.reconnects,
+        "duplicates_suppressed": net_server.stats.duplicates_suppressed,
+        "corrupt_frames": net_server.stats.corrupt_frames,
+        "seq_gaps": net_server.stats.seq_gaps,
+    }
+
+
+def run_n2(statements):
+    cells = []
+    violations = []
+    for class_name, pattern, build in STATEMENT_CLASSES:
+        baseline = run_cell_script((), build, statements)
+        for effect_name, make_effect in NETWORK_EFFECTS:
+            spec = FaultSpec(
+                f"NET-{effect_name.upper()}",
+                f"{effect_name} on {class_name} statements",
+                SqlPatternTrigger(pattern),
+                make_effect(),
+            )
+            cell = run_cell_script([spec], build, statements)
+            state_ok = cell["signature"] == baseline["signature"]
+            writes_ok = cell["write_log"] == baseline["write_log"]
+            replicas_ok = not cell["disagreements"]
+            # A plain write must never be re-executed outside the
+            # sequence-number dedupe path (same-seq resends are safe;
+            # analyzer-gated re-execution is not, for this class).
+            no_unsafe_retry = (
+                class_name != "write" or cell["safe_retries"] == 0
+            )
+            ok = state_ok and writes_ok and replicas_ok and no_unsafe_retry
+            if not ok:
+                violations.append(f"{effect_name} x {class_name}")
+            cells.append({
+                "effect": effect_name,
+                "class": class_name,
+                "state_matches_fault_free": state_ok,
+                "committed_writes_match": writes_ok,
+                "replicas_agree": replicas_ok,
+                "resends": cell["resends"],
+                "reconnects": cell["reconnects"],
+                "duplicates_suppressed": cell["duplicates_suppressed"],
+                "corrupt_frames_refused": cell["corrupt_frames"],
+                "unsafe_aborts": cell["unsafe_aborts"],
+                "ok": ok,
+            })
+    return {
+        "cells": cells,
+        "lost_or_duplicated_commits": len(violations),
+        "violations": violations,
+    }
+
+
+# -- N3: shed rate vs offered load ----------------------------------------
+
+
+def _handshake(network):
+    """Open a raw session over the wire; returns (port, session, token)."""
+    port = network.connect()
+    welcome = port.request(protocol.hello(), 8.0)
+    return port, welcome["session"], welcome["token"]
+
+
+def run_n3(loads):
+    policy = NetPolicy(
+        idle_deadline=100_000.0,
+        queue_deadline=50_000.0,
+        shed_compare_depth=4,
+        shed_reject_depth=8,
+        max_parked=12,
+    )
+    points = []
+    for load in loads:
+        _, net_server, network = served_deployment(net_policy=policy)
+        holder, session, token = _handshake(network)
+        seq = 0
+        for sql in SETUP_STATEMENTS + ("BEGIN", "UPDATE t SET v = 11 WHERE id = 1"):
+            seq += 1
+            holder.request(protocol.execute(session, token, seq, sql), 8.0)
+
+        # Offer `load` single-statement writes from other sessions while
+        # the transaction is held: they park until the reject rung.
+        flooders = [_handshake(network) for _ in range(load)]
+        for index, (port, fsession, ftoken) in enumerate(flooders):
+            port.send(protocol.execute(
+                fsession, ftoken, 1,
+                f"INSERT INTO t VALUES ({200 + index}, {index})",
+            ))
+        network.pump()
+
+        # The holder's own read under backlog: compare shed before any
+        # statement is rejected.
+        seq += 1
+        holder.request(protocol.execute(
+            session, token, seq, "SELECT v FROM t WHERE id = 2"
+        ), 8.0)
+        seq += 1
+        holder.request(protocol.execute(session, token, seq, "COMMIT"), 8.0)
+        network.pump()
+
+        stats = net_server.stats
+        served = sum(
+            1 for port, _, _ in flooders
+            if port.recv(4.0).get("type") == "result"
+        )
+        points.append({
+            "offered": load,
+            "parked": stats.parked_statements,
+            "shed_statements": stats.shed_statements,
+            "shed_compares": stats.shed_compares,
+            "served": served,
+            "shed_rate": round(stats.shed_statements / load, 3),
+        })
+    return {"points": points}
+
+
+# -- driver ----------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes + assertions for CI")
+    parser.add_argument("--out", default=str(ROOT / "BENCH_net.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    session_counts = SMOKE_SESSION_COUNTS if args.smoke else SESSION_COUNTS
+    transactions = (
+        SMOKE_TRANSACTIONS_PER_SESSION if args.smoke
+        else TRANSACTIONS_PER_SESSION
+    )
+    loads = SMOKE_OFFERED_LOADS if args.smoke else OFFERED_LOADS
+
+    started = time.time()
+    n1 = run_n1(session_counts, transactions)
+    print(f"N1: unserved {n1['unserved_statements_per_second']} stmt/s; served "
+          + ", ".join(
+              f"{p['sessions']}s={p['statements_per_second']}"
+              for p in n1["served"]
+          ))
+
+    n2 = run_n2(MATRIX_STATEMENTS)
+    print(f"N2: {len(n2['cells'])} fault-matrix cells, "
+          f"lost/duplicated commits={n2['lost_or_duplicated_commits']}")
+
+    n3 = run_n3(loads)
+    for point in n3["points"]:
+        print(f"N3: offered={point['offered']} parked={point['parked']} "
+              f"shed={point['shed_statements']} "
+              f"compares shed={point['shed_compares']} "
+              f"shed rate={point['shed_rate']}")
+
+    assert n2["lost_or_duplicated_commits"] == 0, n2["violations"]
+    assert all(cell["ok"] for cell in n2["cells"])
+    rates = [point["shed_rate"] for point in n3["points"]]
+    assert rates == sorted(rates), "shed rate must not fall as load rises"
+    assert n3["points"][0]["shed_statements"] == 0
+    assert n3["points"][-1]["shed_statements"] > 0
+    assert n3["points"][-1]["shed_compares"] > 0
+    for point in n1["served"]:
+        assert point["network_errors"] == 0
+
+    payload = {
+        "benchmark": "net",
+        "mode": "smoke" if args.smoke else "full",
+        "elapsed_seconds": round(time.time() - started, 2),
+        "n1_throughput": n1,
+        "n2_exactly_once": n2,
+        "n3_backpressure": n3,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if args.smoke:
+        print("smoke assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

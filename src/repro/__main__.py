@@ -11,24 +11,16 @@ Commands
 ``tpcc [N]``
     Run N TPC-C-style transactions (default 100) through a 1-version
     and a 2-version configuration and print throughput/dependability.
-``crashstorm [N]``
-    Run N TPC-C-style transactions (default 120) through a 3-version
-    majority configuration whose IB replica crashes repeatedly — both
-    in service and during recovery replay — and print the supervisor's
-    quarantine/backoff/checkpoint/retirement telemetry.
-``hangstorm [N]``
-    Run N TPC-C-style transactions (default 120) through a 3-version
-    majority configuration with a statement deadline, whose IB replica
-    hangs on stock-level analysis queries and suffers one transient
-    stall — and print the watchdog's timeout/audit/quarantine
-    telemetry (the paper's self-evident *performance* failure class).
-``diskstorm [N]``
-    Run N TPC-C-style transactions (default 120) through a durable
-    3-version majority configuration whose IB disk tears, drops, and
-    corrupts WAL appends; power-cut the whole deployment and restart
-    it from the surviving medium; then retire the IB replica and
-    rebuild it online from a healthy donor while N more transactions
-    flow — printing WAL/checkpoint/recovery/rebuild telemetry.
+``crashstorm [N]`` / ``hangstorm [N]`` / ``diskstorm [N]`` / ``netstorm [N]``
+    Fault-storm drills (default 120 transactions each), dispatched
+    through the registry in :mod:`repro.storms`: a 3-version majority
+    configuration battered at one layer — repeated replica crashes
+    (in service and during recovery replay), replica hangs against a
+    statement deadline, WAL tear/loss/corruption with a power-cut
+    restart and online rebuild, or (``netstorm``) the served wire
+    frontend under drop/delay/duplicate/reorder/corrupt/reset/
+    partition network faults with concurrent terminals, session
+    resumption, and exactly-once dedupe telemetry.
 ``report [PATH]``
     Write a full markdown study report (default: study_report.md).
 ``export [PATH]``
@@ -153,211 +145,6 @@ def cmd_tpcc(count: int) -> int:
     return 0
 
 
-def cmd_crashstorm(count: int) -> int:
-    from repro.faults import CrashEffect, FaultSpec, RecoveryTrigger, SqlPatternTrigger
-    from repro.middleware import DiverseServer
-    from repro.servers import make_server
-    from repro.workload import WorkloadRunner
-
-    storm = FaultSpec(
-        "STORM-CRASH",
-        "crashes on stock-level analysis queries",
-        SqlPatternTrigger(r"COUNT\s*\(\s*DISTINCT\s+s_i_id"),
-        CrashEffect("scheduler deadlock"),
-    )
-    relapse = FaultSpec(
-        "STORM-RELAPSE",
-        "crashes again while replaying district updates during recovery",
-        RecoveryTrigger() & SqlPatternTrigger(r"UPDATE\s+district"),
-        CrashEffect("recovery deadlock"),
-    )
-    server = DiverseServer(
-        [make_server("IB", [storm, relapse]), make_server("OR"), make_server("MS")],
-        adjudication="majority",
-    )
-    runner = WorkloadRunner(server, seed=7)
-    runner.setup()
-    metrics = runner.run(count)
-    stats = server.stats
-    ib = server.replica("IB")
-    print(f"3v majority under crash storm: {metrics.transactions} transactions, "
-          f"{metrics.statements_per_second:.0f} stmt/s")
-    print(f"client-visible crashes={metrics.crashes} outages={metrics.outages}")
-    print(f"replica crashes absorbed={stats.replica_crashes} "
-          f"statement retries={stats.statement_retries} "
-          f"(saved={stats.retries_saved})")
-    print(f"quarantines={stats.quarantines} backoff waits={stats.backoff_waits} "
-          f"recoveries={stats.recoveries} retirements={stats.retirements}")
-    print(f"checkpoints={stats.checkpoints} "
-          f"checkpoint replays={stats.checkpoint_replays} "
-          f"full replays={stats.full_replays} "
-          f"statements replayed={stats.replayed_statements}")
-    print(f"degraded statements={stats.degraded_statements} "
-          f"quorum losses={stats.quorum_losses}")
-    print(f"IB final state: {ib.state.value} "
-          f"(quarantined {ib.health.quarantines} time(s))")
-    return 0
-
-
-def cmd_hangstorm(count: int) -> int:
-    from repro.faults import (
-        Detectability,
-        FailureKind,
-        FaultSpec,
-        HangEffect,
-        SqlPatternTrigger,
-        StallEffect,
-    )
-    from repro.middleware import DiverseServer, SupervisorPolicy
-    from repro.servers import make_server
-    from repro.workload import WorkloadRunner
-
-    hang = FaultSpec(
-        "STORM-HANG",
-        "never returns from stock-level analysis queries",
-        SqlPatternTrigger(r"COUNT\s*\(\s*DISTINCT\s+s_i_id"),
-        HangEffect("scheduler wedged on a latch"),
-        kind=FailureKind.PERFORMANCE,
-        detectability=Detectability.SELF_EVIDENT,
-    )
-    stall = FaultSpec(
-        "STORM-STALL",
-        "one transient stall on customer balance lookups",
-        SqlPatternTrigger(r"SELECT\s+c_balance"),
-        StallEffect(delay=400.0, once=True),
-        kind=FailureKind.PERFORMANCE,
-        detectability=Detectability.SELF_EVIDENT,
-    )
-    server = DiverseServer(
-        [make_server("IB", [hang, stall]), make_server("OR"), make_server("MS")],
-        adjudication="majority",
-        policy=SupervisorPolicy(statement_deadline=50.0, checkpoint_interval=16),
-    )
-    runner = WorkloadRunner(server, seed=7, transaction_deadline=500.0)
-    runner.setup()
-    metrics = runner.run(count)
-    stats = server.stats
-    ib = server.replica("IB")
-    hangs = sum(1 for entry in server.timeout_audit if entry.kind == "hang")
-    stalls = sum(1 for entry in server.timeout_audit if entry.kind == "stall")
-    print(f"3v majority under hang storm (deadline=50): "
-          f"{metrics.transactions} transactions, "
-          f"{metrics.statements_per_second:.0f} stmt/s")
-    print(f"client-visible timeouts={metrics.timed_out_statements} "
-          f"deadline aborts={metrics.deadline_aborts} outages={metrics.outages}")
-    print(f"statement timeouts={stats.statement_timeouts} "
-          f"(audit: hangs={hangs} stalls={stalls}) "
-          f"recovery timeouts={stats.recovery_timeouts}")
-    print(f"statement retries={stats.statement_retries} "
-          f"(saved={stats.retries_saved})")
-    print(f"quarantines={stats.quarantines} recoveries={stats.recoveries} "
-          f"checkpoint replays={stats.checkpoint_replays} "
-          f"retirements={stats.retirements}")
-    print(f"IB final state: {ib.state.value} "
-          f"(timed out {ib.stats.timeouts} time(s))")
-    return 0
-
-
-def cmd_diskstorm(count: int) -> int:
-    from repro.durability import DurabilityManager, MemoryMedium
-    from repro.faults import (
-        ChecksumCorruptionEffect,
-        Detectability,
-        FailureKind,
-        FaultSpec,
-        LostFlushEffect,
-        SqlPatternTrigger,
-        TornWriteEffect,
-    )
-    from repro.middleware import DiverseServer, ServerConfig
-    from repro.servers import make_server
-    from repro.workload import WorkloadRunner
-
-    def storm_faults() -> list[FaultSpec]:
-        return [
-            FaultSpec(
-                "DISK-TORN",
-                "tears the WAL append of stock updates",
-                SqlPatternTrigger(r"UPDATE\s+stock"),
-                TornWriteEffect(),
-                kind=FailureKind.STORAGE,
-                detectability=Detectability.SELF_EVIDENT,
-            ),
-            FaultSpec(
-                "DISK-LOST",
-                "loses the WAL append of district updates",
-                SqlPatternTrigger(r"UPDATE\s+district"),
-                LostFlushEffect(),
-                kind=FailureKind.STORAGE,
-                detectability=Detectability.NON_SELF_EVIDENT,
-            ),
-            FaultSpec(
-                "DISK-ROT",
-                "bit rot on the WAL append of history inserts",
-                SqlPatternTrigger(r"INSERT\s+INTO\s+history"),
-                ChecksumCorruptionEffect(),
-                kind=FailureKind.STORAGE,
-                detectability=Detectability.SELF_EVIDENT,
-            ),
-        ]
-
-    def build(medium: MemoryMedium) -> DiverseServer:
-        return DiverseServer(
-            [make_server("IB", storm_faults()), make_server("OR"), make_server("MS")],
-            config=ServerConfig(
-                adjudication="majority",
-                durability=DurabilityManager(medium, checkpoint_interval=48),
-            ),
-        )
-
-    disk = MemoryMedium()
-    server = build(disk)
-    runner = WorkloadRunner(server, seed=7)
-    runner.setup()
-    metrics = runner.run(count)
-    stats = server.stats
-    print(f"phase 1 -- durable 3v majority under disk storm: "
-          f"{metrics.transactions} transactions, "
-          f"{metrics.statements_per_second:.0f} stmt/s, "
-          f"disagreements={metrics.detected_disagreements}")
-    print(f"WAL records={stats.wal_records} torn={stats.wal_torn_writes} "
-          f"lost={stats.wal_lost_flushes} corrupt={stats.wal_corruptions} "
-          f"durable checkpoints={stats.durable_checkpoints}")
-
-    restarted = build(disk.clone())
-    recovery = restarted.durability.recover_server()
-    print(f"phase 2 -- power cut + restart: write log restored "
-          f"({recovery.write_log} statements), "
-          f"crashed={recovery.crashed or 'none'} "
-          f"healed={recovery.healed or 'none'}")
-    for key, report in sorted(recovery.reports.items()):
-        print(f"  {key}: checkpoint={report.checkpoint or '-'} "
-              f"redone={report.redone} dropped bytes={report.dropped_bytes} "
-              f"stop={report.stopped or 'clean'}")
-    disagreements = recovery.residual_disagreements
-    print(f"  residual disagreements: {disagreements if disagreements else 'none'}")
-
-    ib = restarted.replica("IB")
-    restarted.supervisor.retire(ib)
-    restarted.rebuild("IB")
-    runner2 = WorkloadRunner(restarted, seed=11)
-    metrics2 = runner2.run(count)
-    restarted.drive_rebuilds()
-    stats2 = restarted.stats
-    print(f"phase 3 -- IB retired and rebuilt online under "
-          f"{metrics2.transactions} live transactions: "
-          f"disagreements={metrics2.detected_disagreements}")
-    print(f"rebuilds started={stats2.rebuilds_started} "
-          f"completed={stats2.rebuilds_completed} "
-          f"failed={stats2.rebuilds_failed} "
-          f"delta replayed={stats2.rebuild_replayed_statements}")
-    print(f"IB final state: {ib.state.value} "
-          f"(last rebuild took {ib.health.last_rebuild_duration} tick(s))")
-    print(f"consistency after rebuild: "
-          f"{restarted.verify_consistency() or 'all replicas agree'}")
-    return 0
-
-
 def cmd_report(path: str) -> int:
     from repro.study.reporting import study_report_markdown
 
@@ -404,24 +191,52 @@ def cmd_export(path: str) -> int:
     return 0
 
 
+def _parse_count(argv: list[str], default: int, command: str) -> int | None:
+    """Parse the optional transaction-count argument.
+
+    Returns ``None`` (after printing usage to stderr) when the argument
+    is not a positive integer — the CLI exits 2 instead of tracing an
+    uncaught ``ValueError`` at the user."""
+    if len(argv) < 2:
+        return default
+    try:
+        count = int(argv[1])
+    except ValueError:
+        print(
+            f"usage: python -m repro {command} [N]\n"
+            f"  N must be an integer transaction count, got {argv[1]!r}",
+            file=sys.stderr,
+        )
+        return None
+    if count < 1:
+        print(
+            f"usage: python -m repro {command} [N]\n"
+            f"  N must be a positive transaction count, got {count}",
+            file=sys.stderr,
+        )
+        return None
+    return count
+
+
 def main(argv: list[str]) -> int:
+    from repro.storms import STORMS, run_storm
+
     command = argv[0] if argv else "study"
     if command == "study":
         return cmd_study()
     if command == "tables":
         return cmd_tables()
     if command == "tpcc":
-        count = int(argv[1]) if len(argv) > 1 else 100
+        count = _parse_count(argv, 100, command)
+        if count is None:
+            return 2
         return cmd_tpcc(count)
-    if command == "crashstorm":
-        count = int(argv[1]) if len(argv) > 1 else 120
-        return cmd_crashstorm(count)
-    if command == "hangstorm":
-        count = int(argv[1]) if len(argv) > 1 else 120
-        return cmd_hangstorm(count)
-    if command == "diskstorm":
-        count = int(argv[1]) if len(argv) > 1 else 120
-        return cmd_diskstorm(count)
+    if command in STORMS:
+        storm = STORMS[command]()
+        count = _parse_count(argv, storm.default_count, command)
+        if count is None:
+            return 2
+        return run_storm(storm, count)
     if command == "report":
         return cmd_report(argv[1] if len(argv) > 1 else "study_report.md")
     if command == "export":

@@ -134,6 +134,17 @@ class EngineCrash(ReproError):
         self.detail = detail
 
 
+class NetworkError(ReproError):
+    """Base for failures of the serving layer's network path.
+
+    Raised by :mod:`repro.net` when the wire between a client and the
+    served middleware misbehaves (timeouts, resets, shed load) rather
+    than any replica.  Defined here so transport-agnostic consumers
+    (the workload runner) can classify these failures without importing
+    the serving package.
+    """
+
+
 class MiddlewareError(ReproError):
     """Raised by the diverse-redundancy middleware itself."""
 

@@ -21,12 +21,21 @@ from repro.faults.audit import TimeoutAuditEntry
 from repro.faults.effects import (
     BehaviourFlagEffect,
     ChecksumCorruptionEffect,
+    ConnectionResetEffect,
+    CorruptFrameEffect,
     CrashEffect,
+    DelayFrameEffect,
     DialectRenderEffect,
+    DropFrameEffect,
+    DuplicateFrameEffect,
     ErrorEffect,
     HangEffect,
     LostFlushEffect,
+    NetDelivery,
+    NetworkEffect,
+    PartitionEffect,
     PerformanceEffect,
+    ReorderFrameEffect,
     RowDropEffect,
     RowDuplicateEffect,
     RowcountSkewEffect,
@@ -51,18 +60,27 @@ __all__ = [
     "AlwaysTrigger",
     "BehaviourFlagEffect",
     "ChecksumCorruptionEffect",
+    "ConnectionResetEffect",
+    "CorruptFrameEffect",
     "CrashEffect",
-    "DialectRenderEffect",
+    "DelayFrameEffect",
     "Detectability",
+    "DialectRenderEffect",
+    "DropFrameEffect",
+    "DuplicateFrameEffect",
     "ErrorEffect",
     "FailureKind",
     "FaultInjector",
     "FaultSpec",
     "HangEffect",
     "LostFlushEffect",
+    "NetDelivery",
+    "NetworkEffect",
+    "PartitionEffect",
     "PerformanceEffect",
     "RecoveryTrigger",
     "RelationTrigger",
+    "ReorderFrameEffect",
     "RowDropEffect",
     "RowDuplicateEffect",
     "RowcountSkewEffect",

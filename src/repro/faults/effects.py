@@ -14,19 +14,41 @@ Effects run at one of four hook points:
   committed write on its way to the durability medium (torn writes,
   lost flushes, bit rot), so the restart-recovery path is itself
   under fault injection.
+* ``network`` — mutates the delivery of a wire-protocol frame between
+  a client and the served middleware (drop, delay, duplicate, reorder,
+  corrupt, connection reset, partition), so the serving path is under
+  fault injection too.  This failure class sits *outside* the paper's
+  study data: the servers may all be healthy and the client still sees
+  timeouts and resets, which is exactly why retried statements must be
+  provably safe to re-execute (or deduplicated by sequence number).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from dataclasses import dataclass, replace
+from typing import Any, Callable, List, Optional
 
 from repro.errors import EngineCrash, SqlError
+
+
+@dataclass(frozen=True)
+class NetDelivery:
+    """One (possibly mutated) delivery of an encoded network frame.
+
+    ``delay`` is extra virtual-clock units before the frame arrives;
+    ``reset`` marks a connection-level failure: the frame is not
+    delivered and both endpoints observe the connection as broken.
+    """
+
+    payload: bytes
+    delay: float = 0.0
+    reset: bool = False
 
 
 class Effect:
     """Base effect."""
 
-    phase = "after"  # 'before' | 'after' | 'flag' | 'storage'
+    phase = "after"  # 'before' | 'after' | 'flag' | 'storage' | 'network'
 
     def apply_before(self, ctx) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -37,6 +59,10 @@ class Effect:
     def apply_storage(self, ctx, payload: bytes) -> Optional[bytes]:
         """Mutate an encoded WAL record before it hits the medium;
         ``None`` means the record is dropped entirely (lost flush)."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def apply_network(self, ctx, delivery: NetDelivery) -> List[NetDelivery]:
+        """Rewrite one frame delivery into zero or more deliveries."""
         raise NotImplementedError  # pragma: no cover - abstract
 
 
@@ -404,6 +430,176 @@ class ChecksumCorruptionEffect(StorageEffect):
         mutated = bytearray(payload)
         mutated[body] ^= self.xor
         return bytes(mutated)
+
+
+class NetworkEffect(Effect):
+    """Base for effects that disturb wire-protocol frame delivery.
+
+    Network effects fire when the simulated transport moves an encoded
+    frame between a client and the served middleware: the trigger is
+    matched against a :class:`repro.net.transport.NetworkContext`
+    describing the frame (direction, message type, carried SQL), and
+    :meth:`apply_network` rewrites the delivery.  One frame may become
+    zero deliveries (drop), one delayed delivery, several (duplicate),
+    or a connection reset.
+    """
+
+    phase = "network"
+
+    def apply_before(self, ctx) -> None:  # pragma: no cover - never called
+        return None
+
+    def apply_after(self, ctx, result):  # pragma: no cover - never called
+        return result
+
+
+class DropFrameEffect(NetworkEffect):
+    """The frame vanishes: a lost datagram / silently dropped packet.
+
+    With ``count`` set, only the first ``count`` triggered frames are
+    dropped (a transient loss burst); ``None`` drops every one.
+    """
+
+    def __init__(self, count: Optional[int] = None) -> None:
+        if count is not None and count < 1:
+            raise ValueError("count must be >= 1 (or None for always)")
+        self.count = count
+        self._dropped = 0
+
+    def apply_network(self, ctx, delivery: NetDelivery) -> List[NetDelivery]:
+        if self.count is not None and self._dropped >= self.count:
+            return [delivery]
+        self._dropped += 1
+        return []
+
+
+class DelayFrameEffect(NetworkEffect):
+    """Deliver the frame late: queueing delay / a slow path.
+
+    Adds ``delay`` virtual-clock units to the delivery time.  A delay
+    beyond the client's request timeout is indistinguishable from loss
+    on the send side — which is why the session layer must deduplicate
+    the retry that follows."""
+
+    def __init__(self, delay: float = 8.0) -> None:
+        if delay <= 0:
+            raise ValueError("a delay must add positive latency")
+        self.delay = delay
+
+    def apply_network(self, ctx, delivery: NetDelivery) -> List[NetDelivery]:
+        return [replace(delivery, delay=delivery.delay + self.delay)]
+
+
+class DuplicateFrameEffect(NetworkEffect):
+    """Deliver the frame twice: retransmission without suppression.
+
+    The copy arrives ``gap`` units after the original.  A duplicated
+    *request* must not double-apply a write — the server's per-session
+    sequence dedupe is the defence this effect exists to test."""
+
+    def __init__(self, gap: float = 1.0) -> None:
+        if gap < 0:
+            raise ValueError("the duplicate gap must be non-negative")
+        self.gap = gap
+
+    def apply_network(self, ctx, delivery: NetDelivery) -> List[NetDelivery]:
+        return [delivery, replace(delivery, delay=delivery.delay + self.gap)]
+
+
+class ReorderFrameEffect(NetworkEffect):
+    """Hold the frame back so frames sent after it overtake it.
+
+    Mechanically a delay of ``hold`` units, but scoped (by its trigger)
+    to individual frames, which is what produces reordering relative to
+    unmatched traffic on the same connection."""
+
+    def __init__(self, hold: float = 3.0) -> None:
+        if hold <= 0:
+            raise ValueError("the hold-back must be positive")
+        self.hold = hold
+
+    def apply_network(self, ctx, delivery: NetDelivery) -> List[NetDelivery]:
+        return [replace(delivery, delay=delivery.delay + self.hold)]
+
+
+class CorruptFrameEffect(NetworkEffect):
+    """Flip bits inside the encoded frame: line noise / a bad NIC.
+
+    The frame header still parses but the CRC check fails on receipt;
+    the receiver must treat the connection as broken (it can no longer
+    trust the stream's framing) — the wire analogue of
+    :class:`ChecksumCorruptionEffect`."""
+
+    def __init__(
+        self, offset: int = 0, xor: int = 0x40, count: Optional[int] = None
+    ) -> None:
+        if xor & 0xFF == 0:
+            raise ValueError("xor mask must change at least one bit")
+        self.offset = offset
+        self.xor = xor & 0xFF
+        self.count = count
+        self._corrupted = 0
+
+    def apply_network(self, ctx, delivery: NetDelivery) -> List[NetDelivery]:
+        if self.count is not None and self._corrupted >= self.count:
+            return [delivery]
+        self._corrupted += 1
+        payload = delivery.payload
+        if len(payload) <= 8:  # pragma: no cover - frames always carry a body
+            return [delivery]
+        body = 8 + self.offset % (len(payload) - 8)
+        mutated = bytearray(payload)
+        mutated[body] ^= self.xor
+        return [replace(delivery, payload=bytes(mutated))]
+
+
+class ConnectionResetEffect(NetworkEffect):
+    """Tear the connection down instead of delivering the frame.
+
+    Both endpoints observe the reset; in-flight frames on the
+    connection are lost.  Sessions survive resets (they live at the
+    session layer, not the connection layer) until their idle deadline
+    expires, so a reconnecting client can resume and deduplicate.
+
+    With ``count`` set, only the first ``count`` triggered frames reset
+    (a flaky path that then heals); ``None`` resets every one.
+    """
+
+    def __init__(self, count: Optional[int] = None) -> None:
+        if count is not None and count < 1:
+            raise ValueError("count must be >= 1 (or None for always)")
+        self.count = count
+        self._fired = 0
+
+    def apply_network(self, ctx, delivery: NetDelivery) -> List[NetDelivery]:
+        if self.count is not None and self._fired >= self.count:
+            return [delivery]
+        self._fired += 1
+        return [replace(delivery, reset=True)]
+
+
+class PartitionEffect(NetworkEffect):
+    """Drop *all* matched traffic for a window of virtual time.
+
+    The partition starts when the first matched frame passes through
+    and heals ``duration`` clock units later; frames inside the window
+    vanish (in both directions, if the fault's trigger matches both).
+    Models a transient network partition between client and middleware.
+    """
+
+    def __init__(self, duration: float = 32.0) -> None:
+        if duration <= 0:
+            raise ValueError("a partition must last a positive duration")
+        self.duration = duration
+        self._started_at: Optional[float] = None
+
+    def apply_network(self, ctx, delivery: NetDelivery) -> List[NetDelivery]:
+        now = getattr(ctx, "now", 0.0)
+        if self._started_at is None:
+            self._started_at = now
+        if now < self._started_at + self.duration:
+            return []
+        return [delivery]
 
 
 class BehaviourFlagEffect(Effect):

@@ -140,6 +140,30 @@ class FaultInjector:
                 break
         return data, fired
 
+    def mutate_network(self, ctx, delivery):
+        """Run one frame delivery through every matching network-phase
+        fault.
+
+        Called by the simulated transport for each frame it moves;
+        ``ctx`` is a :class:`repro.net.transport.NetworkContext`
+        describing the frame.  Returns ``(deliveries, fired)`` where
+        ``deliveries`` is the rewritten delivery list (possibly empty —
+        a dropped frame — or several — a duplicated one) and ``fired``
+        lists the fault specs that activated, for transport telemetry.
+        """
+        deliveries = [delivery]
+        fired = []
+        for fault in self._active_faults(ctx, phase="network"):
+            self._record(fault, ctx, phase="network")
+            fired.append(fault)
+            rewritten = []
+            for entry in deliveries:
+                rewritten.extend(fault.effect.apply_network(ctx, entry))
+            deliveries = rewritten
+            if not deliveries:
+                break
+        return deliveries, fired
+
     # -- internals ------------------------------------------------------------
 
     def _active_faults(self, ctx, phase: str):

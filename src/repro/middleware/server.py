@@ -74,7 +74,7 @@ from __future__ import annotations
 
 import warnings as _warnings
 from dataclasses import dataclass, field, fields as dataclass_fields
-from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
 
 from repro.analysis.divergence import (
     PROFILES,
@@ -400,6 +400,10 @@ class DiverseServer:
         self._pending_write: Optional[str] = None
         self._read_cursor = 0
         self._prepared: dict[str, PreparedStatement] = {}
+        #: Called (no arguments) after each committed DDL statement has
+        #: bumped the pipeline generation; the serving layer uses this
+        #: to eagerly invalidate cross-session prepared handles.
+        self.ddl_listeners: list[Callable[[], None]] = []
         #: (sql, group leaders) pairs recorded in ``monitor`` mode.
         self.disagreement_log: list[tuple[str, list[str]]] = []
         #: One entry per statement-deadline violation (service and
@@ -513,6 +517,8 @@ class DiverseServer:
                 self._schema.observe(statement)
             if traits.kind in _DDL_KINDS:
                 self.pipeline.bump_generation()
+                for listener in self.ddl_listeners:
+                    listener()
             if self.durability is not None:
                 self.durability.log_write(call.bound_sql, traits)
             if self.supervised:

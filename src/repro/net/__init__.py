@@ -1,0 +1,67 @@
+"""Live session serving: the wire frontend of the diverse middleware.
+
+The paper sketches its middleware as a *server* between clients and N
+diverse replicas; this package supplies that serving layer end to end:
+
+* :mod:`repro.net.protocol` — a length-prefixed, CRC-checked JSON wire
+  protocol (hello/execute/prepare/close frames);
+* :mod:`repro.net.session` — per-session state on the server: open
+  transactions, prepared-statement handles with DDL invalidation,
+  idle/queue deadlines, and per-session sequence numbers so replayed
+  requests deduplicate (exactly-once committed writes);
+* :mod:`repro.net.server` — the request dispatcher with admission
+  control and backpressure: bounded session and backlog queues, and a
+  load-shedding ladder that sheds cross-replica compares before it
+  sheds primary answers (mirroring the supervisor's
+  majority→compare→primary degradation chain);
+* :mod:`repro.net.transport` — a deterministic simulated transport
+  whose frame deliveries run through the fault injector's ``network``
+  phase (drop, delay, duplicate, reorder, corrupt-frame,
+  connection-reset, partition);
+* :mod:`repro.net.client` — the client library: a low-level
+  :class:`~repro.net.client.NetClient` plus a
+  :class:`~repro.net.client.SessionSupervisor` that reconnects with
+  backoff and a circuit breaker and auto-retries only statements the
+  static analyzer proves re-execution-safe;
+* :mod:`repro.net.tcp` — a thin asyncio TCP binding of the same
+  session layer for serving over real sockets.
+"""
+
+from repro.net.client import ClientPolicy, ClientStats, NetClient, SessionSupervisor
+from repro.net.errors import (
+    ConnectionLost,
+    NetTimeout,
+    ProtocolViolation,
+    RetryUnsafe,
+    ServerOverloaded,
+    SessionExpired,
+)
+from repro.net.protocol import FrameCorrupt, FrameStream, decode_frame, encode_frame
+from repro.net.server import NetServer
+from repro.net.session import NetPolicy, NetStats, Session, SessionManager
+from repro.net.transport import NetworkContext, SimulatedNetwork, TransportStats
+
+__all__ = [
+    "ClientPolicy",
+    "ClientStats",
+    "ConnectionLost",
+    "FrameCorrupt",
+    "FrameStream",
+    "NetClient",
+    "NetPolicy",
+    "NetServer",
+    "NetStats",
+    "NetTimeout",
+    "NetworkContext",
+    "ProtocolViolation",
+    "RetryUnsafe",
+    "ServerOverloaded",
+    "Session",
+    "SessionExpired",
+    "SessionManager",
+    "SessionSupervisor",
+    "SimulatedNetwork",
+    "TransportStats",
+    "decode_frame",
+    "encode_frame",
+]

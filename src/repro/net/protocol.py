@@ -1,0 +1,210 @@
+"""The wire protocol: length-prefixed, CRC-checked JSON frames.
+
+Frame layout (all integers little-endian)::
+
+    [4 bytes payload length][4 bytes CRC32 of payload][payload: JSON]
+
+The CRC makes corruption *self-evident*: a receiver that sees a frame
+whose checksum does not match can no longer trust the stream's framing
+and must treat the connection as broken, exactly like the durability
+layer's WAL scan distrusts everything past an invalid record.
+
+Messages are JSON objects with a ``type`` field.  Client → server:
+``hello`` (open or resume a session), ``execute`` (one statement,
+optionally through a prepared handle), ``prepare``, ``close``.  Server →
+client: ``welcome``, ``result``, ``prepared``, ``closed``, ``error``.
+SQL values that JSON cannot carry (Decimal, date, datetime) ride in
+tagged envelopes so a result survives the round trip bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import struct
+import zlib
+from decimal import Decimal
+from typing import Any, Iterator, List, Optional
+
+from repro.net.errors import ProtocolViolation
+
+_HEADER = struct.Struct("<II")
+
+#: Upper bound on one frame's payload; a length field beyond it means
+#: the stream is garbage (or hostile), not merely large.
+MAX_FRAME_PAYLOAD = 4 * 1024 * 1024
+
+# -- error codes carried in ``error`` messages ------------------------------
+
+#: The statement failed as SQL (engine error, adjudication failure...).
+#: ``error_type`` names the middleware exception to re-raise client-side.
+ERR_SQL = "sql"
+#: Admission control shed the request or session — retryable later.
+ERR_OVERLOADED = "overloaded"
+#: The session id/token pair is unknown (expired or never existed).
+ERR_SESSION_EXPIRED = "session_expired"
+#: The request's sequence number is out of the dedupe window.
+ERR_SEQ_GAP = "seq_gap"
+#: The request referenced an unknown prepared handle.
+ERR_BAD_HANDLE = "bad_handle"
+#: Malformed or out-of-place message.
+ERR_PROTOCOL = "protocol"
+
+
+class FrameCorrupt(ProtocolViolation):
+    """A frame failed its CRC or length check: the stream is untrusted."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialise one message into its framed wire representation."""
+    payload = json.dumps(
+        message, separators=(",", ":"), default=_json_default
+    ).encode("utf-8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_frame(frame: bytes) -> dict:
+    """Decode one complete frame; raises :class:`FrameCorrupt` when the
+    length or checksum does not hold."""
+    if len(frame) < _HEADER.size:
+        raise FrameCorrupt(f"truncated frame header ({len(frame)} byte(s))")
+    length, crc = _HEADER.unpack_from(frame)
+    payload = frame[_HEADER.size:]
+    if length > MAX_FRAME_PAYLOAD:
+        raise FrameCorrupt(f"frame length {length} exceeds the protocol maximum")
+    if len(payload) != length:
+        raise FrameCorrupt(
+            f"frame payload is {len(payload)} byte(s), header says {length}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise FrameCorrupt("frame checksum mismatch")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameCorrupt(f"frame payload is not valid JSON: {error}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolViolation("a message must be an object with a 'type'")
+    return message
+
+
+class FrameStream:
+    """Incremental frame decoder for a byte stream (the TCP binding).
+
+    Feed arbitrarily chopped chunks; complete messages come out.  A
+    corrupt frame poisons the stream permanently — once framing is
+    untrusted there is no resynchronisation point.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    def feed(self, data: bytes) -> List[dict]:
+        if self._poisoned:
+            raise FrameCorrupt("stream already corrupt")
+        self._buffer.extend(data)
+        messages: List[dict] = []
+        while len(self._buffer) >= _HEADER.size:
+            length, _ = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_PAYLOAD:
+                self._poisoned = True
+                raise FrameCorrupt(
+                    f"frame length {length} exceeds the protocol maximum"
+                )
+            if len(self._buffer) < _HEADER.size + length:
+                break
+            frame = bytes(self._buffer[: _HEADER.size + length])
+            del self._buffer[: _HEADER.size + length]
+            try:
+                messages.append(decode_frame(frame))
+            except FrameCorrupt:
+                self._poisoned = True
+                raise
+        return messages
+
+
+# -- value codec -------------------------------------------------------------
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, Decimal):
+        return {"$dec": str(value)}
+    if isinstance(value, datetime.datetime):
+        return {"$dt": value.isoformat()}
+    if isinstance(value, datetime.date):
+        return {"$date": value.isoformat()}
+    raise TypeError(f"unserialisable value of type {type(value).__name__}")
+
+
+def decode_value(value: Any) -> Any:
+    """Undo the tagged envelopes of :func:`_json_default`."""
+    if isinstance(value, dict):
+        if "$dec" in value:
+            return Decimal(value["$dec"])
+        if "$dt" in value:
+            return datetime.datetime.fromisoformat(value["$dt"])
+        if "$date" in value:
+            return datetime.date.fromisoformat(value["$date"])
+    return value
+
+
+def decode_row(row: List[Any]) -> tuple:
+    return tuple(decode_value(value) for value in row)
+
+
+# -- message constructors ----------------------------------------------------
+
+def hello(session: Optional[str] = None, token: Optional[str] = None) -> dict:
+    return {"type": "hello", "session": session, "token": token}
+
+
+def execute(
+    session: str,
+    token: str,
+    seq: int,
+    sql: str,
+    params: Optional[List[Any]] = None,
+    handle: Optional[int] = None,
+) -> dict:
+    message: dict = {
+        "type": "execute", "session": session, "token": token, "seq": seq,
+        "sql": sql,
+    }
+    if params is not None:
+        message["params"] = params
+    if handle is not None:
+        message["handle"] = handle
+    return message
+
+
+def prepare(session: str, token: str, seq: int, sql: str) -> dict:
+    return {
+        "type": "prepare", "session": session, "token": token, "seq": seq,
+        "sql": sql,
+    }
+
+
+def close(session: str, token: str) -> dict:
+    return {"type": "close", "session": session, "token": token}
+
+
+def error(
+    seq: Optional[int],
+    code: str,
+    message: str,
+    *,
+    error_type: Optional[str] = None,
+    retryable: bool = False,
+) -> dict:
+    body: dict = {
+        "type": "error", "seq": seq, "code": code, "message": message,
+        "retryable": retryable,
+    }
+    if error_type is not None:
+        body["error_type"] = error_type
+    return body
+
+
+def iter_messages(frames: Iterator[bytes]) -> Iterator[dict]:
+    """Decode an iterable of complete frames (test convenience)."""
+    for frame in frames:
+        yield decode_frame(frame)

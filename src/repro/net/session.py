@@ -1,0 +1,320 @@
+"""Per-session server state: transactions, handles, dedupe, deadlines.
+
+A *session* is the unit of client identity the serving layer reasons
+about.  Everything exactly-once hangs off it:
+
+* **Sequence numbers.**  Every ``execute``/``prepare`` request carries a
+  per-session sequence number.  The session caches the response to each
+  executed sequence, so a retransmitted request (the client resending
+  after a timeout, or the fault injector duplicating a frame) returns
+  the *cached* answer instead of executing again.  A write therefore
+  commits at most once per sequence number, no matter how often the
+  network replays it.
+* **Transactions.**  The underlying :class:`DiverseServer` replicates a
+  single statement stream, so at most one session may hold an open
+  transaction; the manager tracks the holder and the dispatcher parks
+  everyone else.  An expiring or closing holder gets its transaction
+  rolled back, never silently committed.
+* **Prepared handles.**  Handles wrap middleware
+  :class:`~repro.middleware.server.PreparedStatement` objects.  When
+  *any* session commits DDL the manager eagerly marks every live handle
+  stale (via the server's DDL listener hook) and counts the
+  invalidation; the middleware re-prepares transparently on next use.
+* **Deadlines.**  Sessions idle past ``NetPolicy.idle_deadline`` are
+  expired (transaction rolled back, dedupe state discarded), which is
+  exactly the moment a client-side retry stops being provably safe.
+
+All times are the middleware's virtual clock — deterministic, like
+everything else in the simulation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional
+
+from repro.middleware.server import DiverseServer, PreparedStatement
+from repro.net.errors import ServerOverloaded, SessionExpired
+from repro.sqlengine.analysis import StatementTraits
+
+
+@dataclass
+class NetPolicy:
+    """Tunables for the serving layer (admission, shedding, deadlines)."""
+
+    #: Hard bound on concurrently open sessions; opens beyond it are shed.
+    max_sessions: int = 64
+    #: Virtual time a session may sit idle before it is expired.
+    idle_deadline: float = 256.0
+    #: Cached responses kept per session for duplicate suppression.
+    dedupe_window: int = 64
+    #: Hard bound on parked (transaction-blocked) statements.
+    max_parked: int = 32
+    #: Backlog length at which reads shed their cross-replica compare
+    #: (answered by a single replica, writes still replicated) — the
+    #: graceful rung of the degradation ladder.
+    shed_compare_depth: int = 8
+    #: Backlog length at which new statements are rejected outright
+    #: with a retryable overload error — the hard rung.
+    shed_reject_depth: int = 24
+    #: Virtual time a parked statement may wait before it is shed.
+    queue_deadline: float = 64.0
+    #: Prepared handles allowed per session.
+    max_handles: int = 64
+
+
+@dataclass
+class NetStats:
+    """Serving-layer counters (sessions, dedupe, shedding, handles)."""
+
+    sessions_opened: int = 0
+    sessions_resumed: int = 0
+    sessions_rejected: int = 0
+    sessions_expired: int = 0
+    sessions_closed: int = 0
+    statements_served: int = 0
+    sql_errors: int = 0
+    duplicates_suppressed: int = 0
+    seq_gaps: int = 0
+    parked_statements: int = 0
+    shed_compares: int = 0
+    shed_statements: int = 0
+    queue_deadline_sheds: int = 0
+    handles_prepared: int = 0
+    handles_invalidated: int = 0
+    handles_refreshed: int = 0
+    corrupt_frames: int = 0
+    protocol_errors: int = 0
+    rollbacks_on_expiry: int = 0
+
+    def reset(self) -> None:
+        for spec in fields(self):
+            setattr(self, spec.name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+
+@dataclass
+class SessionHandle:
+    """One prepared statement owned by one session."""
+
+    handle_id: int
+    sql: str
+    prepared: PreparedStatement
+    #: Pipeline schema generation the handle was last known fresh at.
+    generation: int
+    param_count: int
+    #: Set eagerly when another session commits DDL; cleared (and
+    #: counted as a refresh) on next execution.
+    stale: bool = False
+
+
+@dataclass
+class Session:
+    """Server-side state for one client session."""
+
+    session_id: str
+    token: str
+    created_at: float
+    last_active: float
+    #: Highest executed sequence number; requests at or below it are
+    #: duplicates (answered from cache) or gaps (rejected).
+    last_seq: int = 0
+    #: seq -> encoded response message, bounded by the dedupe window.
+    responses: "OrderedDict[int, dict]" = field(default_factory=OrderedDict)
+    in_transaction: bool = False
+    handles: Dict[int, SessionHandle] = field(default_factory=dict)
+    next_handle: int = 1
+    expired: bool = False
+
+    def touch(self, now: float) -> None:
+        self.last_active = now
+
+
+class SessionManager:
+    """Owns the session table of one served :class:`DiverseServer`."""
+
+    def __init__(
+        self,
+        server: DiverseServer,
+        policy: Optional[NetPolicy] = None,
+        stats: Optional[NetStats] = None,
+    ) -> None:
+        self.server = server
+        self.policy = policy or NetPolicy()
+        self.stats = stats or NetStats()
+        self._sessions: Dict[str, Session] = {}
+        self._next_session = 1
+        #: Session currently holding the server's open transaction.
+        self.txn_holder: Optional[str] = None
+        server.ddl_listeners.append(self._on_ddl)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(self, now: float) -> Session:
+        """Open a fresh session; sheds with an overload error when the
+        table is full (after reaping idle sessions)."""
+        self.expire_idle(now)
+        if len(self._sessions) >= self.policy.max_sessions:
+            self.stats.sessions_rejected += 1
+            raise ServerOverloaded(
+                f"session table full ({self.policy.max_sessions} open)"
+            )
+        number = self._next_session
+        self._next_session += 1
+        session = Session(
+            session_id=f"s{number}",
+            token=f"tok-{number:06d}",
+            created_at=now,
+            last_active=now,
+        )
+        self._sessions[session.session_id] = session
+        self.stats.sessions_opened += 1
+        return session
+
+    def resume(self, session_id: str, token: Optional[str], now: float) -> Session:
+        """Re-attach a reconnecting client to its surviving session.
+
+        The dedupe cache and any open transaction are intact, so the
+        client may resend its in-flight sequence number safely."""
+        self.expire_idle(now)
+        session = self._sessions.get(session_id)
+        if session is None or session.token != token:
+            raise SessionExpired(f"unknown or expired session {session_id!r}")
+        session.touch(now)
+        self.stats.sessions_resumed += 1
+        return session
+
+    def get(self, session_id: Optional[str], token: Optional[str], now: float) -> Session:
+        """Look up the session of one request (does not count a resume)."""
+        session = self._sessions.get(session_id or "")
+        if session is None or session.token != token:
+            raise SessionExpired(f"unknown or expired session {session_id!r}")
+        session.touch(now)
+        return session
+
+    def close(self, session_id: str, token: Optional[str]) -> bool:
+        session = self._sessions.get(session_id)
+        if session is None or session.token != token:
+            return False
+        self._release(session, count_as="closed")
+        return True
+
+    def expire_idle(self, now: float) -> list:
+        """Expire every session idle past the deadline; returns them."""
+        deadline = self.policy.idle_deadline
+        expired = [
+            session
+            for session in list(self._sessions.values())
+            if now - session.last_active > deadline
+        ]
+        for session in expired:
+            self._release(session, count_as="expired")
+        return expired
+
+    def _release(self, session: Session, count_as: str) -> None:
+        if self.txn_holder == session.session_id:
+            # Never silently commit: an abandoned transaction rolls back.
+            try:
+                self.server.execute("ROLLBACK")
+                self.stats.rollbacks_on_expiry += 1
+            except Exception:  # noqa: BLE001 - best-effort during teardown
+                pass
+            self.txn_holder = None
+        session.expired = True
+        session.handles.clear()
+        session.responses.clear()
+        del self._sessions[session.session_id]
+        if count_as == "expired":
+            self.stats.sessions_expired += 1
+        else:
+            self.stats.sessions_closed += 1
+
+    # -- sequence-number dedupe ----------------------------------------------
+
+    def cached_response(self, session: Session, seq: int) -> Optional[dict]:
+        """The cached answer for a replayed sequence number, if any."""
+        response = session.responses.get(seq)
+        if response is not None:
+            self.stats.duplicates_suppressed += 1
+        return response
+
+    def record_response(self, session: Session, seq: int, response: dict) -> None:
+        """Remember an *executed* request's answer for dedupe.
+
+        Only executed requests advance ``last_seq``; shed or rejected
+        ones do not, so the client may retry them under the same
+        sequence number without risking a gap."""
+        session.last_seq = max(session.last_seq, seq)
+        session.responses[seq] = response
+        while len(session.responses) > self.policy.dedupe_window:
+            session.responses.popitem(last=False)
+
+    # -- transactions --------------------------------------------------------
+
+    def note_executed(self, session: Session, traits: StatementTraits) -> None:
+        """Update transaction bookkeeping after a successful execution."""
+        if traits.kind == "begin":
+            session.in_transaction = True
+            self.txn_holder = session.session_id
+        elif traits.kind in ("commit", "rollback"):
+            session.in_transaction = False
+            if self.txn_holder == session.session_id:
+                self.txn_holder = None
+
+    # -- prepared handles ----------------------------------------------------
+
+    def prepare_handle(self, session: Session, sql: str) -> SessionHandle:
+        if len(session.handles) >= self.policy.max_handles:
+            raise ServerOverloaded(
+                f"session {session.session_id} holds {len(session.handles)} "
+                "handles (limit reached)"
+            )
+        prepared = self.server.prepare(sql)
+        handle = SessionHandle(
+            handle_id=session.next_handle,
+            sql=sql,
+            prepared=prepared,
+            generation=self.server.pipeline.generation,
+            param_count=prepared.param_count,
+        )
+        session.next_handle += 1
+        session.handles[handle.handle_id] = handle
+        self.stats.handles_prepared += 1
+        return handle
+
+    def note_handle_executed(self, handle: SessionHandle) -> None:
+        """Refresh a handle's generation bookkeeping after use."""
+        current = self.server.pipeline.generation
+        if handle.stale or handle.generation != current:
+            self.stats.handles_refreshed += 1
+        handle.stale = False
+        handle.generation = current
+
+    def _on_ddl(self) -> None:
+        """Server DDL hook: eagerly mark every live handle stale.
+
+        The middleware re-prepares lazily anyway; the eager pass exists
+        so the *count* of cross-session invalidations is observable the
+        moment the DDL commits, not when a handle is next used."""
+        current = self.server.pipeline.generation
+        for session in self._sessions.values():
+            for handle in session.handles.values():
+                if not handle.stale and handle.generation != current:
+                    handle.stale = True
+                    self.stats.handles_invalidated += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def lookup(self, session_id: str) -> Optional[Session]:
+        """The live session with this id, if any (no touch, no token)."""
+        return self._sessions.get(session_id)
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    def sessions(self) -> list:
+        return list(self._sessions.values())

@@ -8,6 +8,7 @@ the failure process of 1-version vs diverse N-version configurations.
 """
 
 from repro.reliability.availability import (
+    NetworkPolicyModel,
     QuarantinePolicyModel,
     RebuildPolicyModel,
     ReplicaAvailability,
@@ -27,6 +28,7 @@ from repro.reliability.profiles import UsageProfile, profile_sensitivity
 
 __all__ = [
     "FailureProcessSimulator",
+    "NetworkPolicyModel",
     "PairGain",
     "QuarantinePolicyModel",
     "RebuildPolicyModel",

@@ -358,3 +358,100 @@ class RebuildPolicyModel:
             failure_rate=retirement_rate,
             repair_rate=1.0 / mttr,
         )
+
+
+@dataclass(frozen=True)
+class NetworkPolicyModel:
+    """Client-observed availability through the serving layer's wire.
+
+    The replica-side models above price what the *middleware* can
+    answer; a served deployment adds a network path that loses, delays,
+    and resets frames.  The session supervisor turns most of those
+    losses into invisible retries — resume the session, resend the same
+    sequence number, let the server deduplicate — so a request is only
+    *lost* when the retry discipline runs out of road:
+
+    * every attempt in the reconnect budget failed (circuit open), or
+    * the session expired mid-flight **and** the statement is not
+      provably re-execution-safe, so no further attempt is permitted
+      (the :class:`~repro.net.errors.RetryUnsafe` path).
+
+    Each attempt independently fails with ``loss_probability`` (drop,
+    reset, corrupt frame, or timeout on either direction of the round
+    trip).  After a failed attempt the session resumes with
+    ``resume_probability`` (it expired otherwise — outages longer than
+    the idle deadline), and an expired session only permits a retry for
+    the ``reexecution_safe_fraction`` of the statement mix the static
+    analyzer proves safe.  ``max_attempts`` mirrors the client policy's
+    reconnect budget; the backoff knobs price the latency of surviving.
+    """
+
+    #: P(one request/response round trip is lost or reset).
+    loss_probability: float
+    #: Attempts the client may make in total (1 initial + reconnects).
+    max_attempts: int = 7
+    #: P(the session is still resumable when the client reconnects).
+    resume_probability: float = 0.95
+    #: Fraction of the statement mix provably re-execution-safe.
+    reexecution_safe_fraction: float = 0.5
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = 32.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if self.max_attempts < 1:
+            raise ValueError("at least one attempt is needed")
+        for name in ("resume_probability", "reexecution_safe_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt`` (attempt 0 is immediate)."""
+        if attempt <= 0:
+            return 0.0
+        return min(self.backoff_base * self.backoff_factor ** (attempt - 1), self.backoff_cap)
+
+    @property
+    def continuation_probability(self) -> float:
+        """P(a failed attempt is allowed another try): the session
+        resumed (always retryable — the server deduplicates), or it
+        expired but the statement is provably safe to re-submit."""
+        return self.resume_probability + (
+            (1.0 - self.resume_probability) * self.reexecution_safe_fraction
+        )
+
+    def request_success_probability(self) -> float:
+        """P(a request eventually receives an exactly-once answer)."""
+        p = self.loss_probability
+        s = 1.0 - p
+        c = self.continuation_probability
+        step = p * c
+        return s * sum(step**k for k in range(self.max_attempts))
+
+    def expected_retry_delay(self) -> float:
+        """E[backoff spent | request succeeds] — the latency price of
+        surviving the lossy wire (virtual time units)."""
+        p = self.loss_probability
+        s = 1.0 - p
+        c = self.continuation_probability
+        total = 0.0
+        weight = 0.0
+        elapsed = 0.0
+        for attempt in range(self.max_attempts):
+            elapsed += self.backoff_delay(attempt)
+            probability = ((p * c) ** attempt) * s
+            total += probability * elapsed
+            weight += probability
+        if weight == 0.0:
+            return 0.0
+        return total / weight
+
+    def served_availability(self, middleware_availability: float) -> float:
+        """Availability the *client* observes: the middleware must be
+        up and the wire must deliver an exactly-once answer."""
+        if not 0.0 <= middleware_availability <= 1.0:
+            raise ValueError("middleware availability must be in [0, 1]")
+        return middleware_availability * self.request_success_probability()

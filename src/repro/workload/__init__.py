@@ -14,7 +14,7 @@ diverse replication.
 """
 
 from repro.workload.generator import TpccGenerator, TransactionMix
-from repro.workload.runner import WorkloadMetrics, WorkloadRunner
+from repro.workload.runner import WorkloadMetrics, WorkloadRunner, run_interleaved
 from repro.workload.schema import SCHEMA_STATEMENTS, populate_statements
 
 __all__ = [
@@ -24,4 +24,5 @@ __all__ = [
     "WorkloadMetrics",
     "WorkloadRunner",
     "populate_statements",
+    "run_interleaved",
 ]

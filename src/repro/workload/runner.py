@@ -10,6 +10,7 @@ from typing import Any, Optional, Protocol
 from repro.errors import (
     AdjudicationFailure,
     EngineCrash,
+    NetworkError,
     NoReplicasAvailable,
     ReproError,
     SqlError,
@@ -55,6 +56,11 @@ class WorkloadMetrics:
     #: Statements that observed a timeout (endpoint-raised, or the
     #: statement whose cost exhausted the transaction budget).
     timed_out_statements: int = 0
+    #: Failures of the network path when the endpoint is served over a
+    #: wire (session lost mid-transaction, retry-unsafe statement after
+    #: session expiry, circuit breaker open).  Zero for direct
+    #: endpoints.
+    network_errors: int = 0
     elapsed_seconds: float = 0.0
     per_profile: dict[str, int] = field(default_factory=dict)
 
@@ -72,7 +78,25 @@ class WorkloadMetrics:
             and self.crashes == 0
             and self.outages == 0
             and self.timed_out_statements == 0
+            and self.network_errors == 0
         )
+
+    def merge(self, other: "WorkloadMetrics") -> None:
+        """Fold another run's counters into this one (terminal fan-in).
+
+        Counter fields add; ``elapsed_seconds`` takes the maximum, the
+        wall-clock view of concurrent terminals."""
+        for spec in _METRIC_FIELDS:
+            if spec.name == "elapsed_seconds":
+                self.elapsed_seconds = max(self.elapsed_seconds, other.elapsed_seconds)
+            elif spec.name == "per_profile":
+                for name, count in other.per_profile.items():
+                    self.per_profile[name] = self.per_profile.get(name, 0) + count
+            else:
+                setattr(self, spec.name, getattr(self, spec.name) + getattr(other, spec.name))
+
+
+_METRIC_FIELDS = tuple(WorkloadMetrics.__dataclass_fields__.values())
 
 
 class WorkloadRunner:
@@ -209,6 +233,15 @@ class WorkloadRunner:
                 metrics.crashes += 1
                 self._abort(metrics, in_transaction)
                 return False
+            except NetworkError:
+                # The serving layer could not deliver an answer with
+                # exactly-once certainty (session lost mid-transaction,
+                # retry-unsafe statement, circuit open).  The safe
+                # client response is the same as any abort: roll back
+                # and (optionally) retry the whole transaction.
+                metrics.network_errors += 1
+                self._abort(metrics, in_transaction)
+                return False
             except SqlError:
                 metrics.sql_errors += 1
                 self._abort(metrics, in_transaction)
@@ -229,3 +262,45 @@ class WorkloadRunner:
                 self.endpoint.execute("ROLLBACK")
             except ReproError:
                 pass
+
+
+def run_interleaved(
+    runners: list[WorkloadRunner], transactions_each: int
+) -> WorkloadMetrics:
+    """Drive several runners as concurrent terminals, one transaction
+    at a time round-robin, and return their merged metrics.
+
+    This is how "multiple clients" looks in a deterministic simulation:
+    terminal interleaving at transaction granularity, every terminal
+    with its own generator stream (seeded from its runner).  Against a
+    served endpoint the terminals contend for sessions, the parked
+    queue, and admission control exactly as concurrent clients would.
+    """
+    sessions = [
+        (
+            runner,
+            iter(TpccGenerator(seed=runner.seed).transactions(transactions_each)),
+            WorkloadMetrics(),
+        )
+        for runner in runners
+    ]
+    start = time.perf_counter()
+    active = True
+    while active:
+        active = False
+        for runner, stream, metrics in sessions:
+            transaction = next(stream, None)
+            if transaction is None:
+                continue
+            active = True
+            metrics.transactions += 1
+            metrics.per_profile[transaction.name] = (
+                metrics.per_profile.get(transaction.name, 0) + 1
+            )
+            runner._run_transaction(transaction, metrics)
+    elapsed = time.perf_counter() - start
+    merged = WorkloadMetrics()
+    for _, _, metrics in sessions:
+        metrics.elapsed_seconds = elapsed
+        merged.merge(metrics)
+    return merged

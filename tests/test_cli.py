@@ -33,9 +33,34 @@ class TestCli:
         assert "client-visible timeouts=0" in output
         assert "IB final state: active" in output
 
+    def test_netstorm_command(self, capsys):
+        assert main(["netstorm", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "network storm" in output
+        assert "network errors=0" in output
+        assert "exactly-once: duplicates suppressed=" in output
+        assert "seq gaps=0" in output
+        assert "replica consistency after storm: all replicas agree" in output
+
     def test_unknown_command_prints_usage(self, capsys):
         assert main(["bogus"]) == 2
         assert "Commands" in capsys.readouterr().out
+
+    def test_tpcc_rejects_non_integer_count(self, capsys):
+        assert main(["tpcc", "abc"]) == 2
+        err = capsys.readouterr().err
+        assert "usage: python -m repro tpcc [N]" in err
+        assert "'abc'" in err
+
+    def test_storm_rejects_non_positive_count(self, capsys):
+        assert main(["crashstorm", "-5"]) == 2
+        err = capsys.readouterr().err
+        assert "usage: python -m repro crashstorm [N]" in err
+        assert "positive" in err
+
+    def test_storm_rejects_non_integer_count(self, capsys):
+        assert main(["netstorm", "soon"]) == 2
+        assert "usage: python -m repro netstorm [N]" in capsys.readouterr().err
 
     def test_slice_command(self, capsys):
         assert main(["slice", "IB-223512"]) == 0
