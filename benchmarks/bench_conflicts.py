@@ -1,0 +1,313 @@
+"""Experiment C — what the serializability certificates buy and risk.
+
+Two measurements over the conflict analyzer (:mod:`repro.analysis.conflicts`)
+wired into the served dispatcher's admission path:
+
+* **C1: parked rate vs terminal count, analyzer on/off** — one session
+  holds a transaction that has written specific cells while N reader
+  terminals each offer one *commuting* read (touching cells disjoint
+  from the holder's write footprint) and one *conflicting* read
+  (touching a written cell).  With conflict admission on, the commuting
+  half is served immediately on a COMMUTES certificate; off (PR 7's
+  blanket rung), every statement behind the holder parks.  The parked
+  rate must drop measurably, with identical final replica state.
+* **C2: anomaly-injection matrix** — every concurrency-anomaly effect
+  (lost update, dirty read, phantom row) crossed with every admission
+  statement class, the effect seeded on one replica of the majority
+  deployment and triggered by that class's read.  For each cell the
+  injected anomaly must fire, be detected, and be outvoted — and the
+  client-visible answer must equal the fault-free baseline.  Zero
+  divergence escapes in certified-COMMUTES cells is the acceptance bar:
+  a commuting certificate must never smuggle a wrong answer past
+  adjudication.
+
+Writes ``BENCH_conflicts.json`` next to the repository root.
+
+Run standalone for CI smoke coverage::
+
+    PYTHONPATH=src python benchmarks/bench_conflicts.py --smoke
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.faults import (  # noqa: E402
+    Detectability,
+    DirtyReadEffect,
+    FailureKind,
+    FaultSpec,
+    LostUpdateEffect,
+    PhantomRowEffect,
+    SqlPatternTrigger,
+)
+from repro.middleware import DiverseServer  # noqa: E402
+from repro.net import NetPolicy, NetServer, SimulatedNetwork  # noqa: E402
+from repro.net import protocol  # noqa: E402
+from repro.servers import make_server  # noqa: E402
+
+TERMINAL_COUNTS = (2, 4, 8, 12)
+SMOKE_TERMINAL_COUNTS = (2, 4)
+
+SETUP_STATEMENTS = (
+    "CREATE TABLE t (id INT PRIMARY KEY, a INT, b INT)",
+    "INSERT INTO t VALUES (1, 10, 100)",
+    "INSERT INTO t VALUES (2, 20, 200)",
+    "CREATE TABLE u (id INT PRIMARY KEY, x INT)",
+    "INSERT INTO u VALUES (1, 7)",
+)
+
+#: The holder's open-transaction write: footprint {t.a (id=1 row)}.
+HOLDER_WRITE = "UPDATE t SET a = 11 WHERE id = 1"
+
+#: (class name, certified-COMMUTES, trigger pattern, statement).  The
+#: certificates are judged against the holder's write footprint above.
+STATEMENT_CLASSES = (
+    ("commuting_read", True, r"SELECT\s+b\s+FROM\s+t",
+     "SELECT b FROM t WHERE id = 2"),
+    ("commuting_scan", True, r"SELECT\s+x\s+FROM\s+u",
+     "SELECT x FROM u WHERE id = 1"),
+    ("conflicting_read", False, r"SELECT\s+a\s+FROM\s+t",
+     "SELECT a FROM t WHERE id = 1"),
+)
+
+ANOMALY_EFFECTS = (
+    ("lost_update", lambda: LostUpdateEffect(delta=5.0)),
+    ("dirty_read", lambda: DirtyReadEffect(delta=5.0)),
+    ("phantom", lambda: PhantomRowEffect()),
+)
+
+
+def served_deployment(ib_faults=(), *, conflict_admission=True):
+    """A 3-version majority deployment behind the wire frontend."""
+    server = DiverseServer(
+        [make_server("IB", list(ib_faults)), make_server("OR"), make_server("MS")],
+        adjudication="majority",
+    )
+    policy = NetPolicy(
+        idle_deadline=100_000.0,
+        queue_deadline=50_000.0,
+        max_parked=10_000,
+        shed_compare_depth=10_000,
+        shed_reject_depth=10_000,
+        conflict_admission=conflict_admission,
+    )
+    net_server = NetServer(server, policy)
+    network = SimulatedNetwork(net_server)
+    return server, net_server, network
+
+
+def _handshake(network):
+    """Open a raw session over the wire; returns (port, session, token)."""
+    port = network.connect()
+    welcome = port.request(protocol.hello(), 8.0)
+    return port, welcome["session"], welcome["token"]
+
+
+def _open_holder(network):
+    """Set up the schema and leave a transaction open mid-write."""
+    port, session, token = _handshake(network)
+    seq = 0
+    for sql in SETUP_STATEMENTS + ("BEGIN", HOLDER_WRITE):
+        seq += 1
+        port.request(protocol.execute(session, token, seq, sql), 8.0)
+    return port, session, token, seq
+
+
+# -- C1: parked rate vs terminal count, analyzer on/off --------------------
+
+
+def run_c1_point(terminals, conflict_admission):
+    server, net_server, network = served_deployment(
+        conflict_admission=conflict_admission
+    )
+    holder, session, token, seq = _open_holder(network)
+
+    readers = [_handshake(network) for _ in range(terminals)]
+    for port, rsession, rtoken in readers:
+        port.send(protocol.execute(
+            rsession, rtoken, 1, "SELECT b FROM t WHERE id = 2"
+        ))
+        port.send(protocol.execute(
+            rsession, rtoken, 2, "SELECT a FROM t WHERE id = 1"
+        ))
+    network.pump()
+
+    stats = net_server.stats
+    offered = 2 * terminals
+    parked = stats.parked_statements
+    admitted = stats.admitted_commuting
+
+    seq += 1
+    holder.request(protocol.execute(session, token, seq, "COMMIT"), 8.0)
+    network.pump()
+    answered = sum(
+        1
+        for port, _, _ in readers
+        for _ in range(2)
+        if port.recv(4.0).get("type") == "result"
+    )
+    elapsed = max(server.clock.now, 1e-9)
+    return {
+        "terminals": terminals,
+        "offered": offered,
+        "parked": parked,
+        "admitted_commuting": admitted,
+        "parked_unknown": stats.parked_unknown,
+        "parked_rate": round(parked / offered, 3),
+        "max_parked_depth": stats.max_parked_depth,
+        "mean_parked_wait": round(
+            stats.parked_wait_total / parked if parked else 0.0, 1
+        ),
+        "answered": answered,
+        "statements_per_vtick": round(stats.statements_served / elapsed, 3),
+        "disagreements": server.verify_consistency(),
+    }
+
+
+def run_c1(terminal_counts):
+    points = []
+    for terminals in terminal_counts:
+        on = run_c1_point(terminals, conflict_admission=True)
+        off = run_c1_point(terminals, conflict_admission=False)
+        points.append({"analyzer_on": on, "analyzer_off": off})
+    return {"points": points}
+
+
+# -- C2: anomaly-injection matrix ------------------------------------------
+
+
+def run_c2_cell(effect_name, make_effect, class_name, certified, pattern, sql):
+    """One (effect, statement class) cell, next to its fault-free twin."""
+
+    def drive(faults):
+        server, net_server, network = served_deployment(faults)
+        holder, session, token, seq = _open_holder(network)
+        port, rsession, rtoken = _handshake(network)
+        port.send(protocol.execute(rsession, rtoken, 1, sql))
+        network.pump()
+        admitted = net_server.stats.admitted_commuting
+        seq += 1
+        holder.request(protocol.execute(session, token, seq, "COMMIT"), 8.0)
+        network.pump()
+        reply = port.recv(4.0)
+        return {
+            "rows": reply.get("rows"),
+            "type": reply.get("type"),
+            "admitted": admitted,
+            "detected": server.stats.disagreements_detected,
+            "masked": server.stats.failures_masked,
+            "consistency": server.verify_consistency(),
+        }
+
+    baseline = drive(())
+    fault = FaultSpec(
+        f"CONC-{effect_name.upper()}",
+        f"{effect_name} injected into {class_name} answers",
+        SqlPatternTrigger(pattern),
+        make_effect(),
+        kind=FailureKind.CONCURRENCY,
+        detectability=Detectability.NON_SELF_EVIDENT,
+    )
+    cell = drive([fault])
+    fired = cell["detected"] > baseline["detected"]
+    outvoted = cell["masked"] == cell["detected"]
+    answer_ok = (
+        cell["type"] == "result"
+        and cell["rows"] == baseline["rows"]
+        and not cell["consistency"]
+    )
+    admitted_ok = cell["admitted"] == (1 if certified else 0)
+    ok = fired and outvoted and answer_ok and admitted_ok
+    return {
+        "effect": effect_name,
+        "class": class_name,
+        "certified_commutes": certified,
+        "anomaly_fired": fired,
+        "anomaly_outvoted": outvoted,
+        "answer_matches_fault_free": answer_ok,
+        "admitted_as_expected": admitted_ok,
+        "ok": ok,
+    }
+
+
+def run_c2():
+    cells = []
+    escapes = []
+    for effect_name, make_effect in ANOMALY_EFFECTS:
+        for class_name, certified, pattern, sql in STATEMENT_CLASSES:
+            cell = run_c2_cell(
+                effect_name, make_effect, class_name, certified, pattern, sql
+            )
+            cells.append(cell)
+            if certified and not cell["answer_matches_fault_free"]:
+                escapes.append(f"{effect_name} x {class_name}")
+    return {
+        "cells": cells,
+        "certified_commutes_escapes": len(escapes),
+        "escapes": escapes,
+    }
+
+
+# -- driver ----------------------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes + assertions for CI")
+    parser.add_argument("--out", default=str(ROOT / "BENCH_conflicts.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    terminal_counts = SMOKE_TERMINAL_COUNTS if args.smoke else TERMINAL_COUNTS
+
+    started = time.time()
+    c1 = run_c1(terminal_counts)
+    for point in c1["points"]:
+        on, off = point["analyzer_on"], point["analyzer_off"]
+        print(f"C1: terminals={on['terminals']} "
+              f"parked on/off={on['parked']}/{off['parked']} "
+              f"(rate {on['parked_rate']}/{off['parked_rate']}) "
+              f"admitted={on['admitted_commuting']} "
+              f"stmt/vtick on/off={on['statements_per_vtick']}"
+              f"/{off['statements_per_vtick']}")
+
+    c2 = run_c2()
+    print(f"C2: {len(c2['cells'])} anomaly-matrix cells, "
+          f"certified-COMMUTES escapes={c2['certified_commutes_escapes']}")
+
+    for point in c1["points"]:
+        on, off = point["analyzer_on"], point["analyzer_off"]
+        assert on["parked"] < off["parked"], "admission must reduce parking"
+        assert on["admitted_commuting"] == on["terminals"]
+        assert off["admitted_commuting"] == 0
+        assert on["answered"] == on["offered"]
+        assert off["answered"] == off["offered"]
+        assert not on["disagreements"] and not off["disagreements"]
+    assert c2["certified_commutes_escapes"] == 0, c2["escapes"]
+    assert all(cell["ok"] for cell in c2["cells"])
+
+    payload = {
+        "benchmark": "conflicts",
+        "mode": "smoke" if args.smoke else "full",
+        "elapsed_seconds": round(time.time() - started, 2),
+        "c1_admission": c1,
+        "c2_anomaly_matrix": c2,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if args.smoke:
+        print("smoke assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

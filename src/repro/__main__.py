@@ -12,15 +12,23 @@ Commands
     Run N TPC-C-style transactions (default 100) through a 1-version
     and a 2-version configuration and print throughput/dependability.
 ``crashstorm [N]`` / ``hangstorm [N]`` / ``diskstorm [N]`` / ``netstorm [N]``
+/ ``racestorm [N]``
     Fault-storm drills (default 120 transactions each), dispatched
     through the registry in :mod:`repro.storms`: a 3-version majority
     configuration battered at one layer — repeated replica crashes
     (in service and during recovery replay), replica hangs against a
     statement deadline, WAL tear/loss/corruption with a power-cut
-    restart and online rebuild, or (``netstorm``) the served wire
+    restart and online rebuild, (``netstorm``) the served wire
     frontend under drop/delay/duplicate/reorder/corrupt/reset/
     partition network faults with concurrent terminals, session
-    resumption, and exactly-once dedupe telemetry.
+    resumption, and exactly-once dedupe telemetry, or (``racestorm``)
+    statement-interleaved TPC-C terminals with conflict-aware
+    admission racing concurrency-anomaly faults seeded on one replica.
+``conflicts [N]``
+    Statically analyze N interleaved TPC-C terminal scripts (default
+    2): the cross-session statement-pair conflict census and the
+    serializability verdict, with a concrete witness interleaving for
+    every predicted anomaly.
 ``report [PATH]``
     Write a full markdown study report (default: study_report.md).
 ``export [PATH]``
@@ -29,10 +37,12 @@ Commands
 ``lint [--json]``
     Statically lint the corpus and fault catalogs: portability
     predictions vs ground truth, translator agreement, fault-trigger
-    reachability, slice-vs-reproduction drift, and proven-agreement
-    violations.  ``--json`` emits one JSON object per finding (code,
-    severity, statement index, script id).  Exit status 1 when any
-    finding is reported (CI gate).
+    reachability, slice-vs-reproduction drift, proven-agreement
+    violations, the storage and concurrency fault banks, and
+    warning-severity dead-code findings.  ``--json`` emits one JSON
+    object per finding (code, severity, statement index, script id).
+    Exit status 1 when any *error*-severity finding is reported (CI
+    gate); warnings report without failing.
 ``slice BUG_ID``
     Print a bug script's static trigger slice — the minimal statement
     subsequence that preserves the bug's reproduction — with the
@@ -182,6 +192,39 @@ def cmd_slice(bug_id: str) -> int:
     return 0
 
 
+def cmd_conflicts(terminals: int) -> int:
+    from repro.analysis.conflicts import analyze_sessions
+    from repro.workload import TpccGenerator
+    from repro.workload.schema import SCHEMA_STATEMENTS
+
+    scripts = []
+    for index in range(terminals):
+        generator = TpccGenerator(seed=index + 1)
+        statements: list[str] = []
+        for transaction in generator.transactions(2):
+            statements.extend(transaction.statements)
+        scripts.append(";\n".join(statements))
+    report = analyze_sessions(scripts, setup=";\n".join(SCHEMA_STATEMENTS))
+    print(f"conflict analysis over {terminals} TPC-C terminal script(s), "
+          f"{len(report.transactions)} transaction(s):")
+    for kind, count in report.pair_counts.items():
+        print(f"  {kind.value:<13} {count:>4} statement pair(s)")
+    verdict = report.verdict
+    line = f"verdict: {verdict.status.value}"
+    if verdict.reason:
+        line += f" ({verdict.reason})"
+    print(line)
+    for witness in verdict.anomalies:
+        cells = ", ".join(f"{r}.{c}" for r, c in sorted(witness.cells))
+        print(f"\npossible {witness.kind.value} between "
+              f"{' and '.join(witness.transactions)} on {cells}")
+        if witness.note:
+            print(f"  {witness.note}")
+        for step in witness.schedule:
+            print(f"  {step}")
+    return 0
+
+
 def cmd_export(path: str) -> int:
     from repro.bugs.serialize import corpus_to_json
 
@@ -241,6 +284,11 @@ def main(argv: list[str]) -> int:
         return cmd_report(argv[1] if len(argv) > 1 else "study_report.md")
     if command == "export":
         return cmd_export(argv[1] if len(argv) > 1 else "corpus.json")
+    if command == "conflicts":
+        count = _parse_count(argv, 2, command)
+        if count is None:
+            return 2
+        return cmd_conflicts(count)
     if command == "lint":
         return cmd_lint(as_json="--json" in argv[1:])
     if command == "slice":

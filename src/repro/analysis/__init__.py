@@ -18,7 +18,7 @@ Four verdict families, four consumers:
   faults are statically reachable from the corpus scripts; the static
   complement of the dynamic dead-fault audit, covering Heisenbugs too.
 
-Two *script-level* layers compose the per-statement facts:
+Three *script-level* layers compose the per-statement facts:
 
 * **Whole-script dataflow** (:mod:`repro.analysis.dataflow`) — per
   statement def/use sets over (table, column) cells, a def-use graph,
@@ -30,9 +30,33 @@ Two *script-level* layers compose the per-statement facts:
   products legitimately disagree on this statement?  ``AGREE_PROVEN`` /
   ``BENIGN_DIALECT`` / ``UNKNOWN`` verdicts consumed by the comparator
   (benign divergence is not suspicion) and the Table-4 pipeline.
+* **Transaction-conflict analysis** (:mod:`repro.analysis.conflicts`) —
+  pairwise statement commutativity over def/use cells
+  (:func:`classify_statements`), whole-interleaving serializability
+  verdicts with anomaly witnesses (:func:`analyze_sessions`), and the
+  per-statement commuting certificates
+  (:func:`commutes_with_footprint`) the served dispatcher uses to admit
+  statements past an open transaction instead of parking them.
 
 ``python -m repro lint`` (:func:`run_lint`) gates all of it in CI.
 """
+
+from repro.analysis.conflicts import (
+    AnomalyKind,
+    AnomalyWitness,
+    ConcurrencyRepro,
+    ConflictKind,
+    InterleavingReport,
+    PairConflict,
+    SerializabilityVerdict,
+    VerdictStatus,
+    analyze_sessions,
+    classify_pair,
+    classify_statements,
+    commutes_with_footprint,
+    concurrency_fault_bank,
+    session_transactions,
+)
 
 from repro.analysis.dataflow import (
     DefUse,
@@ -79,17 +103,24 @@ from repro.analysis.verdicts import (
 
 __all__ = [
     "AccessVerdict",
+    "AnomalyKind",
+    "AnomalyWitness",
+    "ConcurrencyRepro",
+    "ConflictKind",
     "DefUse",
     "DivergenceAtom",
     "DivergenceKind",
     "DivergenceVerdict",
+    "InterleavingReport",
     "LintFinding",
+    "PairConflict",
     "OrderVerdict",
     "PROFILES",
     "PortabilityVerdict",
     "ScriptGraph",
     "ScriptSchema",
     "SemanticProfile",
+    "SerializabilityVerdict",
     "SliceResult",
     "StatementDivergence",
     "StatementNode",
@@ -97,11 +128,17 @@ __all__ = [
     "StaticContext",
     "TableInfo",
     "VOLATILE_FUNCTIONS",
+    "VerdictStatus",
     "ViewInfo",
     "WRITE_KINDS",
     "analyze_divergence",
+    "analyze_sessions",
     "analyze_statement",
     "build_graph",
+    "classify_pair",
+    "classify_statements",
+    "commutes_with_footprint",
+    "concurrency_fault_bank",
     "fault_reachability",
     "lint_corpus",
     "minimize_report",
@@ -111,6 +148,7 @@ __all__ = [
     "script_contexts",
     "script_portability",
     "server_contexts",
+    "session_transactions",
     "statement_def_use",
     "statement_portability",
     "unreachable_faults",

@@ -57,6 +57,26 @@ three more checks:
     prefix-scan stop reason, the expected number of lost writes, and a
     prefix-consistent recovered state.
 
+The concurrency-anomaly bank (:mod:`repro.analysis.conflicts`) is
+gated by two checks:
+
+``concurrency-dead-fault``
+    Every banked concurrency fault's trigger must statically match at
+    least one statement of its own repro — setup or either session
+    script (:func:`repro.faults.audit.dead_concurrency_faults`).
+
+``concurrency-certificate-drift``
+    The conflict analyzer (:func:`repro.analysis.conflicts.analyze_sessions`)
+    must still predict each banked repro's anomaly.  Drift here means
+    the admission layer could issue a commuting certificate for an
+    interleaving the bank proves is anomalous.
+
+Two *warning*-severity dead-code checks ride on the def-use graph:
+``dead-statement`` (a write whose definitions no SELECT observes and
+the trigger slice does not anchor) and ``dead-column`` (a created
+column no statement ever reads).  Warnings are reported but do not
+fail the lint; only ``error`` findings set a non-zero exit code.
+
 ``python -m repro lint --json`` emits one JSON object per finding
 (``code`` / ``severity`` / ``statement_index`` / ``script_id`` /
 ``detail``) for machine consumption in CI annotations.
@@ -127,6 +147,8 @@ def lint_corpus(corpus: "Corpus") -> list[LintFinding]:
     findings.extend(_check_slice_reproduction(corpus))
     findings.extend(_check_agree_proven(corpus))
     findings.extend(_check_storage_bank())
+    findings.extend(_check_concurrency_bank())
+    findings.extend(_check_dead_code(corpus))
     return findings
 
 
@@ -351,24 +373,102 @@ def _check_storage_bank() -> list[LintFinding]:
     return findings
 
 
+def _check_concurrency_bank() -> list[LintFinding]:
+    """The concurrency-anomaly bank's gate: reachable triggers and a
+    conflict analyzer that still predicts every banked anomaly."""
+    from repro.analysis.conflicts import analyze_sessions, concurrency_fault_bank
+    from repro.faults.audit import dead_concurrency_faults
+
+    bank = concurrency_fault_bank()
+    findings: list[LintFinding] = [
+        LintFinding(
+            check="concurrency-dead-fault",
+            subject=f"{entry.server}:{entry.fault_id}",
+            detail=f"trigger matches no statement of its repro sessions "
+            f"({entry.description})",
+        )
+        for entry in dead_concurrency_faults(bank)
+    ]
+    for entry in bank:
+        report = analyze_sessions(entry.sessions, setup=entry.setup)
+        if entry.anomaly.value not in report.verdict.anomaly_kinds:
+            findings.append(
+                LintFinding(
+                    check="concurrency-certificate-drift",
+                    subject=entry.bug_id,
+                    detail=(
+                        f"analyzer verdict {report.verdict.status.value} "
+                        f"(anomalies {sorted(report.verdict.anomaly_kinds)}) "
+                        f"no longer predicts the banked anomaly "
+                        f"{entry.anomaly.value!r}"
+                    ),
+                )
+            )
+    return findings
+
+
+def _check_dead_code(corpus: "Corpus") -> list[LintFinding]:
+    """Warning-severity dead-code findings from each script's def-use
+    graph.  Statements the trigger slice anchors are excluded — being
+    invisible to SELECTs is often precisely the bug's point."""
+    from repro.analysis.dataflow import build_graph
+
+    findings: list[LintFinding] = []
+    for report in corpus:
+        graph = build_graph(report.script)
+        kept = set(minimize_report(report).kept)
+        dead = [index for index in graph.dead_statements() if index not in kept]
+        if dead:
+            findings.append(
+                LintFinding(
+                    check="dead-statement",
+                    subject=report.bug_id,
+                    severity="warning",
+                    statement_index=dead[0],
+                    detail=(
+                        f"write statement(s) {dead} define cells no SELECT "
+                        "observes and the trigger slice does not anchor"
+                    ),
+                )
+            )
+        columns = graph.dead_columns()
+        if columns:
+            findings.append(
+                LintFinding(
+                    check="dead-column",
+                    subject=report.bug_id,
+                    severity="warning",
+                    detail="created column(s) never read: "
+                    + ", ".join(f"{relation}.{column}" for relation, column in columns),
+                )
+            )
+    return findings
+
+
 def run_lint(
     corpus: "Corpus",
     emit: Callable[[str], None] = print,
     *,
     as_json: bool = False,
 ) -> int:
-    """Run the lint, report findings, return a process exit code."""
+    """Run the lint, report findings, return a process exit code.
+
+    Only ``error``-severity findings fail the lint; warnings are
+    reported (and serialized under ``--json``) but exit 0."""
     findings = lint_corpus(corpus)
+    errors = [finding for finding in findings if finding.severity == "error"]
+    warnings = len(findings) - len(errors)
     for finding in findings:
         emit(finding.to_json() if as_json else str(finding))
-    if findings:
+    if errors:
         if not as_json:
-            emit(f"lint: {len(findings)} finding(s)")
+            emit(f"lint: {len(errors)} error(s), {warnings} warning(s)")
         return 1
     if not as_json:
         emit(
-            "lint: corpus clean (portability predictions, translator "
-            "agreement, fault reachability, slice reproduction, proven "
-            "agreement, storage-fault bank)"
+            f"lint: corpus clean, {warnings} warning(s) (portability "
+            "predictions, translator agreement, fault reachability, slice "
+            "reproduction, proven agreement, storage-fault bank, "
+            "concurrency-fault bank, dead-code warnings)"
         )
     return 0

@@ -21,20 +21,24 @@ from repro.faults.audit import TimeoutAuditEntry
 from repro.faults.effects import (
     BehaviourFlagEffect,
     ChecksumCorruptionEffect,
+    ConcurrencyAnomalyEffect,
     ConnectionResetEffect,
     CorruptFrameEffect,
     CrashEffect,
     DelayFrameEffect,
     DialectRenderEffect,
+    DirtyReadEffect,
     DropFrameEffect,
     DuplicateFrameEffect,
     ErrorEffect,
     HangEffect,
     LostFlushEffect,
+    LostUpdateEffect,
     NetDelivery,
     NetworkEffect,
     PartitionEffect,
     PerformanceEffect,
+    PhantomRowEffect,
     ReorderFrameEffect,
     RowDropEffect,
     RowDuplicateEffect,
@@ -60,12 +64,14 @@ __all__ = [
     "AlwaysTrigger",
     "BehaviourFlagEffect",
     "ChecksumCorruptionEffect",
+    "ConcurrencyAnomalyEffect",
     "ConnectionResetEffect",
     "CorruptFrameEffect",
     "CrashEffect",
     "DelayFrameEffect",
     "Detectability",
     "DialectRenderEffect",
+    "DirtyReadEffect",
     "DropFrameEffect",
     "DuplicateFrameEffect",
     "ErrorEffect",
@@ -74,10 +80,12 @@ __all__ = [
     "FaultSpec",
     "HangEffect",
     "LostFlushEffect",
+    "LostUpdateEffect",
     "NetDelivery",
     "NetworkEffect",
     "PartitionEffect",
     "PerformanceEffect",
+    "PhantomRowEffect",
     "RecoveryTrigger",
     "RelationTrigger",
     "ReorderFrameEffect",

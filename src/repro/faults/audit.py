@@ -156,6 +156,35 @@ def dead_storage_faults(bank) -> list[FaultAuditEntry]:
     return dead
 
 
+def dead_concurrency_faults(bank) -> list[FaultAuditEntry]:
+    """Banked concurrency-anomaly faults whose trigger matches no
+    statement of their own repro — setup or either session script.
+
+    Concurrency faults fire on the reads their anomaly distorts, so the
+    serve-phase contexts of the repro's scripts are exactly what the
+    injector will see; an unmatched trigger can never smuggle a lost
+    update, dirty read, or phantom past the analyzer's certificates.
+    """
+    from repro.analysis.reachability import script_contexts
+
+    dead: list[FaultAuditEntry] = []
+    for entry in bank:
+        contexts = []
+        for script in (entry.setup, *entry.sessions):
+            if script.strip():
+                contexts.extend(script_contexts(script))
+        if not any(entry.fault.trigger.matches(ctx) for ctx in contexts):
+            dead.append(
+                FaultAuditEntry(
+                    fault_id=entry.fault.fault_id,
+                    server=entry.server,
+                    description=entry.fault.description,
+                    heisenbug=entry.fault.heisenbug,
+                )
+            )
+    return dead
+
+
 def shared_fault_coverage(study: StudyResult) -> dict[str, int]:
     """How many distinct bug scripts each multi-script fault covered
     (e.g. the PostgreSQL clustered-index fault spans six scripts)."""

@@ -187,6 +187,97 @@ class ValueSkewEffect(Effect):
         return result
 
 
+class ConcurrencyAnomalyEffect(Effect):
+    """Base class for the classic isolation-anomaly result mutations.
+
+    The simulated engines execute a single statement stream, so a real
+    data race cannot occur inside one replica; these effects model a
+    *product* whose broken isolation lets one session observe another's
+    in-flight state — a lost increment, an uncommitted value, a phantom
+    row.  They distort read results on the faulty replica only, which
+    is exactly the shape the adjudicator must out-vote and the shape
+    the conflict analyzer's COMMUTES certificates must never let
+    escape: a certified-commuting read touches no cell of the open
+    transaction's write footprint, so no anomaly of this family can
+    change its answer.
+    """
+
+    #: Which anomaly family the subclass models (AnomalyKind value).
+    anomaly = ""
+
+    @staticmethod
+    def _skew_rows(result, delta: float, column: Optional[int]):
+        def skew(value: Any) -> Any:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                if value is not None and type(value).__name__ == "Decimal":
+                    return float(value) + delta
+                return value
+            return value + delta if isinstance(value, float) else float(value) + delta
+
+        rows: list[tuple] = []
+        for row in result.rows:
+            if column is None:
+                rows.append(tuple(skew(value) for value in row))
+            else:
+                items = list(row)
+                if 0 <= column < len(items):
+                    items[column] = skew(items[column])
+                rows.append(tuple(items))
+        result.rows = rows
+        return result
+
+
+class LostUpdateEffect(ConcurrencyAnomalyEffect):
+    """A committed increment vanished: reads return pre-update values."""
+
+    anomaly = "lost_update"
+
+    def __init__(self, delta: float = 1.0, column: Optional[int] = None) -> None:
+        self.delta = delta
+        self.column = column
+
+    def apply_after(self, ctx, result):
+        if result.kind != "select" or not result.rows:
+            return result
+        return self._skew_rows(result, -self.delta, self.column)
+
+
+class DirtyReadEffect(ConcurrencyAnomalyEffect):
+    """Reads observe another transaction's uncommitted write."""
+
+    anomaly = "dirty_read"
+
+    def __init__(self, delta: float = 1.0, column: Optional[int] = None) -> None:
+        self.delta = delta
+        self.column = column
+
+    def apply_after(self, ctx, result):
+        if result.kind != "select" or not result.rows:
+            return result
+        return self._skew_rows(result, self.delta, self.column)
+
+
+class PhantomRowEffect(ConcurrencyAnomalyEffect):
+    """A predicate scan returns a row no committed state contains."""
+
+    anomaly = "phantom"
+
+    def __init__(self, key_offset: int = 100000) -> None:
+        self.key_offset = key_offset
+
+    def apply_after(self, ctx, result):
+        if result.kind != "select" or not result.rows:
+            return result
+        phantom = list(result.rows[-1])
+        for index, value in enumerate(phantom):
+            if isinstance(value, int) and not isinstance(value, bool):
+                phantom[index] = value + self.key_offset
+                break
+        result.rows = list(result.rows) + [tuple(phantom)]
+        result.rowcount = len(result.rows)
+        return result
+
+
 class PerformanceEffect(Effect):
     """Inflate the virtual execution cost: a *performance* failure.
 

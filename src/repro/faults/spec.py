@@ -22,6 +22,11 @@ class FailureKind(Enum):
     #: corrupts the write path to stable storage — torn writes, lost
     #: flushes, bit rot — and manifests only at restart recovery.
     STORAGE = "storage"
+    #: Concurrency extension (not in the paper's study data): broken
+    #: transaction isolation — lost updates, dirty reads, phantoms —
+    #: the anomaly families the conflict analyzer's serializability
+    #: certificates must keep out of certified-commuting schedules.
+    CONCURRENCY = "concurrency"
 
 
 class Detectability(Enum):

@@ -452,6 +452,17 @@ class DiverseServer:
         call = StatementCall(sql=sql, bound_sql=sql)
         return self._execute_bound(call, statement, traits)
 
+    def def_use(self, sql: str):
+        """Def/use cells of one statement against the current schema.
+
+        Memoized per (text, schema generation) by the pipeline; works
+        for prepared templates too (``?`` parameters parse and
+        contribute no cells).  The serving layer uses this to maintain
+        each transaction holder's write footprint and to certify
+        commuting reads for mid-transaction admission."""
+        statement, traits, _ = self.pipeline.parsed(sql)
+        return self.pipeline.def_use(sql, statement, self._schema, traits)
+
     def prepare(self, sql: str) -> "PreparedStatement":
         """Parse, analyze, and translate ``sql`` once; execute it many
         times with bound parameters through the returned handle.

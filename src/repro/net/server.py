@@ -32,6 +32,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.analysis.conflicts import commutes_with_footprint
 from repro.errors import ReproError
 from repro.middleware.server import DiverseServer
 from repro.net import protocol
@@ -131,9 +132,14 @@ class NetServer:
 
         Their sessions survive: none of them executed, so the client's
         resend under the same sequence number is exact."""
-        self._parked = deque(
-            entry for entry in self._parked if entry.conn_id != conn_id
-        )
+        now = self.server.clock.now
+        keep: "deque[_Parked]" = deque()
+        for entry in self._parked:
+            if entry.conn_id == conn_id:
+                self._note_unparked(entry, now)
+            else:
+                keep.append(entry)
+        self._parked = keep
 
     # -- message handlers ----------------------------------------------------
 
@@ -234,24 +240,93 @@ class NetServer:
             return
 
         if holder is not None and not is_holder:
-            if backlog >= self.policy.max_parked:
-                self.stats.shed_statements += 1
-                self._reply(
-                    conn_id,
-                    protocol.error(
-                        seq,
-                        protocol.ERR_OVERLOADED,
-                        "parked queue full; try again",
-                        retryable=True,
-                    ),
-                )
+            admit = self._commute_verdict(session, message, holder)
+            if admit is not True:
+                if backlog >= self.policy.max_parked:
+                    self.stats.shed_statements += 1
+                    self._reply(
+                        conn_id,
+                        protocol.error(
+                            seq,
+                            protocol.ERR_OVERLOADED,
+                            "parked queue full; try again",
+                            retryable=True,
+                        ),
+                    )
+                    return
+                if admit is None:
+                    self.stats.parked_unknown += 1
+                self.stats.parked_statements += 1
+                self._parked.append(_Parked(conn_id, session.session_id, message, now))
+                if len(self._parked) > self.stats.max_parked_depth:
+                    self.stats.max_parked_depth = len(self._parked)
                 return
-            self.stats.parked_statements += 1
-            self._parked.append(_Parked(conn_id, session.session_id, message, now))
-            return
+            self.stats.admitted_commuting += 1
 
         self._reply(conn_id, self._serve(session, message, backlog))
         self._drain(self.server.clock.now)
+
+    def _commute_verdict(
+        self, session: Session, message: dict, holder: str
+    ) -> Optional[bool]:
+        """Admission certificate for a statement arriving mid-transaction.
+
+        ``True``: statically proven to commute with the holder's
+        accumulated write footprint — serve it now.  ``False``: proven
+        or assumed to conflict — park it, exactly as PR 7 did.
+        ``None``: the analysis was defeated (unparseable statement,
+        unknown handle, poisoned footprint) — park it and count it as
+        ``parked_unknown``; the conservative fallback never admits what
+        it cannot prove."""
+        if not self.policy.conflict_admission:
+            return False
+        holder_session = self.sessions.lookup(holder)
+        if holder_session is None or holder_session.footprint_unknown:
+            return None
+        if message.get("type") == "prepare":
+            # Preparation parses and translates but executes nothing,
+            # so it cannot interact with the open transaction.
+            sql = message.get("sql")
+            if not isinstance(sql, str):
+                return None
+            try:
+                self.server.pipeline.parsed(sql)
+            except Exception:  # noqa: BLE001 - defeated analysis parks
+                return None
+            return True
+        handle_id = message.get("handle")
+        if handle_id is not None:
+            handle = session.handles.get(handle_id)
+            if handle is None:
+                return None
+            sql = handle.sql
+        else:
+            sql = message.get("sql")
+            if not isinstance(sql, str):
+                return None
+        try:
+            _, traits, _ = self.server.pipeline.parsed(sql)
+            if traits.kind != "select":
+                # Writes never run inside another session's engine-level
+                # transaction: the holder's ROLLBACK would erase them.
+                return False
+            def_use = self.server.def_use(sql)
+        except Exception:  # noqa: BLE001 - defeated analysis parks
+            return None
+        return bool(commutes_with_footprint(def_use, holder_session.txn_writes))
+
+    def _statement_def_use(self, sql: str):
+        """Def/use of an executed statement for footprint bookkeeping.
+
+        ``None`` when the analysis fails, which poisons the holder's
+        footprint for the rest of the transaction (every later admission
+        question answers UNKNOWN and parks)."""
+        if not self.policy.conflict_admission:
+            return None
+        try:
+            return self.server.def_use(sql)
+        except Exception:  # noqa: BLE001 - conservative: unknown footprint
+            return None
 
     # -- execution -----------------------------------------------------------
 
@@ -303,6 +378,7 @@ class NetServer:
             )
             self.sessions.note_handle_executed(handle)
             traits = handle.prepared.traits
+            sql = handle.sql
         else:
             if params:
                 raise ProtocolViolation("parameters require a prepared handle")
@@ -313,7 +389,7 @@ class NetServer:
             result = self._with_shedding(
                 shed_compare, traits.kind, lambda: self.server.execute(sql)
             )
-        self.sessions.note_executed(session, traits)
+        self.sessions.note_executed(session, traits, self._statement_def_use(sql))
         self.stats.statements_served += 1
         return self._encode_result(seq, result)
 
@@ -369,10 +445,20 @@ class NetServer:
                 return True
         return False
 
+    def _note_unparked(self, entry: _Parked, now: float) -> None:
+        """Account one statement leaving the parked queue, however it
+        leaves (served, shed, expired, or dropped with its connection)."""
+        wait = max(0.0, now - entry.parked_at)
+        self.stats.parked_wait_total += wait
+        if wait > self.stats.parked_wait_max:
+            self.stats.parked_wait_max = wait
+
     def _flush_parked_for(self, session_ids: set) -> None:
+        now = self.server.clock.now
         keep: "deque[_Parked]" = deque()
         for entry in self._parked:
             if entry.session_id in session_ids:
+                self._note_unparked(entry, now)
                 self._reply(
                     entry.conn_id,
                     protocol.error(
@@ -391,6 +477,7 @@ class NetServer:
             entry = self._parked[0]
             if now - entry.parked_at > self.policy.queue_deadline:
                 self._parked.popleft()
+                self._note_unparked(entry, now)
                 self.stats.shed_statements += 1
                 self.stats.queue_deadline_sheds += 1
                 self._reply(
@@ -407,6 +494,7 @@ class NetServer:
             if holder is not None and holder != entry.session_id:
                 break
             self._parked.popleft()
+            self._note_unparked(entry, now)
             session = self.sessions.lookup(entry.session_id)
             if session is None:
                 continue

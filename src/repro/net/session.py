@@ -62,6 +62,11 @@ class NetPolicy:
     queue_deadline: float = 64.0
     #: Prepared handles allowed per session.
     max_handles: int = 64
+    #: Admit statements statically proven to commute with the open
+    #: transaction's write footprint instead of parking them (the
+    #: conflict analyzer's serializability certificates).  Off, every
+    #: statement behind a transaction holder parks — PR 7's behaviour.
+    conflict_admission: bool = True
 
 
 @dataclass
@@ -87,12 +92,22 @@ class NetStats:
     corrupt_frames: int = 0
     protocol_errors: int = 0
     rollbacks_on_expiry: int = 0
+    #: Conflict-aware admission: statements served mid-transaction on a
+    #: commuting certificate, and statements parked because the static
+    #: analysis was defeated (UNKNOWN falls back to parking).
+    admitted_commuting: int = 0
+    parked_unknown: int = 0
+    #: Parked-queue observability: high-water depth and per-statement
+    #: wait times (virtual clock) accumulated at dequeue.
+    max_parked_depth: int = 0
+    parked_wait_total: float = 0.0
+    parked_wait_max: float = 0.0
 
     def reset(self) -> None:
         for spec in fields(self):
             setattr(self, spec.name, 0)
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, float]:
         return {spec.name: getattr(self, spec.name) for spec in fields(self)}
 
 
@@ -128,6 +143,15 @@ class Session:
     handles: Dict[int, SessionHandle] = field(default_factory=dict)
     next_handle: int = 1
     expired: bool = False
+    #: Accumulated def/use cells of the open transaction's statements —
+    #: the footprint commuting-admission certificates are checked
+    #: against.  Cleared at every transaction boundary.
+    txn_reads: set = field(default_factory=set)
+    txn_writes: set = field(default_factory=set)
+    #: Set when a holder statement's def/use could not be computed: the
+    #: footprint is incomplete, so no commuting certificate may be
+    #: issued against it until the transaction closes.
+    footprint_unknown: bool = False
 
     def touch(self, now: float) -> None:
         self.last_active = now
@@ -223,6 +247,7 @@ class SessionManager:
             except Exception:  # noqa: BLE001 - best-effort during teardown
                 pass
             self.txn_holder = None
+        self._clear_footprint(session)
         session.expired = True
         session.handles.clear()
         session.responses.clear()
@@ -254,15 +279,37 @@ class SessionManager:
 
     # -- transactions --------------------------------------------------------
 
-    def note_executed(self, session: Session, traits: StatementTraits) -> None:
-        """Update transaction bookkeeping after a successful execution."""
+    def note_executed(
+        self, session: Session, traits: StatementTraits, def_use=None
+    ) -> None:
+        """Update transaction bookkeeping after a successful execution.
+
+        ``def_use`` (when the dispatcher computes it) accumulates into
+        the holder's read/write footprint; ``None`` for a mid-
+        transaction statement poisons the footprint, so conflict
+        admission conservatively refuses certificates until the
+        transaction closes."""
         if traits.kind == "begin":
             session.in_transaction = True
             self.txn_holder = session.session_id
+            self._clear_footprint(session)
         elif traits.kind in ("commit", "rollback"):
             session.in_transaction = False
             if self.txn_holder == session.session_id:
                 self.txn_holder = None
+            self._clear_footprint(session)
+        elif session.in_transaction:
+            if def_use is None:
+                session.footprint_unknown = True
+            else:
+                session.txn_reads |= def_use.uses
+                session.txn_writes |= def_use.defs
+
+    @staticmethod
+    def _clear_footprint(session: Session) -> None:
+        session.txn_reads.clear()
+        session.txn_writes.clear()
+        session.footprint_unknown = False
 
     # -- prepared handles ----------------------------------------------------
 

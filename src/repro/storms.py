@@ -27,6 +27,10 @@ class Storm:
     seed: int = 7
     #: Extra keyword arguments for each terminal's WorkloadRunner.
     runner_kwargs: Dict[str, object] = {}
+    #: Terminal interleaving granularity for multi-terminal storms:
+    #: ``"transaction"`` (whole transactions rotate) or ``"statement"``
+    #: (other terminals' statements land inside open transactions).
+    granularity: str = "transaction"
 
     def endpoints(self) -> List[SqlEndpoint]:
         """Build the system under storm; one endpoint per terminal."""
@@ -51,7 +55,7 @@ def run_storm(storm: Storm, count: int) -> int:
     if len(runners) == 1:
         metrics = runners[0].run(count)
     else:
-        metrics = run_interleaved(runners, count)
+        metrics = run_interleaved(runners, count, granularity=storm.granularity)
     storm.report(metrics, runners)
     storm.aftermath(count)
     return 0
@@ -451,7 +455,155 @@ class NetStorm(Storm):
                   f"{model.expected_retry_delay():.1f} ticks")
 
 
+class RaceStorm(Storm):
+    """Interleaved terminals racing an anomaly-injecting replica.
+
+    Four TPC-C terminals interleave at *statement* granularity against
+    the served majority deployment while the IB replica's reads are
+    poisoned with textbook concurrency anomalies — lost updates, dirty
+    reads, phantom rows, and a skewed aggregate.  Two things must hold
+    at once: the conflict analyzer's commuting certificates keep
+    read-only statements flowing past open transactions (admission
+    instead of parking), and the majority adjudicator outvotes every
+    injected anomaly, so the interleaved workload finishes with zero
+    client-visible divergences and consistent replicas.
+    """
+
+    name = "racestorm"
+    summary = (
+        "served 3-version majority configuration with statement-"
+        "interleaved TPC-C terminals, conflict-aware admission, and "
+        "concurrency-anomaly faults on the IB replica"
+    )
+    terminals = 4
+    default_count = 60
+    granularity = "statement"
+
+    def __init__(self) -> None:
+        from repro.workload import TransactionMix
+
+        # Read-heavy mix: order-status and stock-level terminals are the
+        # ones the admission certificates can wave past an open
+        # new-order/payment transaction.
+        self.runner_kwargs: Dict[str, object] = {
+            "retries": 6,
+            "mix": TransactionMix(
+                new_order=25.0,
+                payment=15.0,
+                order_status=35.0,
+                delivery=5.0,
+                stock_level=20.0,
+            ),
+        }
+
+    def endpoints(self) -> List[SqlEndpoint]:
+        from repro.faults import (
+            Detectability,
+            DirtyReadEffect,
+            FailureKind,
+            FaultSpec,
+            LostUpdateEffect,
+            PhantomRowEffect,
+            SqlPatternTrigger,
+        )
+        from repro.middleware import DiverseServer
+        from repro.net import (
+            ClientPolicy,
+            NetPolicy,
+            NetServer,
+            SessionSupervisor,
+            SimulatedNetwork,
+        )
+        from repro.servers import make_server
+
+        def anomaly(fault_id, description, pattern, effect):
+            return FaultSpec(
+                fault_id,
+                description,
+                SqlPatternTrigger(pattern),
+                effect,
+                kind=FailureKind.CONCURRENCY,
+                detectability=Detectability.NON_SELF_EVIDENT,
+            )
+
+        races = [
+            anomaly(
+                "RACE-LOSTUPDATE",
+                "customer balance reads miss concurrent payments",
+                r"SELECT\s+c_balance",
+                LostUpdateEffect(delta=1.0),
+            ),
+            anomaly(
+                "RACE-DIRTYREAD",
+                "item price reads see uncommitted repricing",
+                r"SELECT\s+i_price",
+                DirtyReadEffect(delta=1.0),
+            ),
+            anomaly(
+                "RACE-PHANTOM",
+                "order-status scans grow phantom order rows",
+                r"SELECT\s+o_id",
+                PhantomRowEffect(),
+            ),
+            anomaly(
+                "RACE-SKEW",
+                "stock-level aggregates drift under write skew",
+                r"COUNT\s*\(\s*DISTINCT\s+s_i_id",
+                DirtyReadEffect(delta=2.0),
+            ),
+        ]
+        self.server = DiverseServer(
+            [make_server("IB", races), make_server("OR"), make_server("MS")],
+            adjudication="majority",
+        )
+        # Short queue deadline: a terminal whose statement parks behind
+        # a conflicting transaction sheds fast and retries, instead of
+        # stalling the interleaved schedule for the full wait.  The
+        # certificates are what keep commuting reads out of that path.
+        self.net_server = NetServer(
+            self.server,
+            NetPolicy(idle_deadline=4096.0, queue_deadline=12.0),
+        )
+        self.network = SimulatedNetwork(self.net_server)
+        self.supervisors = [
+            SessionSupervisor(
+                self.network,
+                policy=ClientPolicy(request_timeout=24.0, circuit_threshold=16),
+            )
+            for _ in range(self.terminals)
+        ]
+        return list(self.supervisors)
+
+    def report(self, metrics: WorkloadMetrics, runners: List[WorkloadRunner]) -> None:
+        net = self.net_server.stats
+        stats = self.server.stats
+        ib = self.server.replica("IB")
+        print(f"served 3v majority under race storm "
+              f"({self.terminals} statement-interleaved terminals): "
+              f"{metrics.transactions} transactions, "
+              f"{metrics.statements_per_second:.0f} stmt/s")
+        print(f"admission: commuting statements admitted="
+              f"{net.admitted_commuting} parked={net.parked_statements} "
+              f"(unknown={net.parked_unknown}) "
+              f"max depth={net.max_parked_depth}")
+        parked_done = net.parked_statements
+        mean_wait = net.parked_wait_total / parked_done if parked_done else 0.0
+        print(f"parked wait (virtual): mean={mean_wait:.1f} "
+              f"max={net.parked_wait_max:.1f}")
+        print(f"anomalies outvoted: disagreements detected="
+              f"{stats.disagreements_detected} masked={stats.failures_masked} "
+              f"IB outvoted={ib.stats.outvoted} time(s)")
+        print(f"client-visible: disagreements={metrics.detected_disagreements} "
+              f"network errors={metrics.network_errors} "
+              f"aborted={metrics.aborted_transactions} "
+              f"(retried to success={metrics.retried_successes})")
+        disagreements = self.server.verify_consistency()
+        print(f"replica consistency after storm: "
+              f"{disagreements or 'all replicas agree'}")
+
+
 #: The dispatch registry: command name -> storm class.
 STORMS: Dict[str, Type[Storm]] = {
-    storm.name: storm for storm in (CrashStorm, HangStorm, DiskStorm, NetStorm)
+    storm.name: storm
+    for storm in (CrashStorm, HangStorm, DiskStorm, NetStorm, RaceStorm)
 }

@@ -16,7 +16,7 @@ from repro.errors import (
     SqlError,
     StatementTimeout,
 )
-from repro.workload.generator import TpccGenerator, Transaction
+from repro.workload.generator import TpccGenerator, Transaction, TransactionMix
 from repro.workload.schema import SCHEMA_STATEMENTS, populate_statements
 
 
@@ -122,6 +122,10 @@ class WorkloadRunner:
     per-transaction values are bound at execute time.  The bound SQL is
     byte-identical to the literal stream, so metrics are comparable
     between the two modes.
+
+    ``mix`` reweights the five TPC-C profiles for every generator this
+    runner constructs itself (``run`` without an explicit generator, and
+    its terminal stream under :func:`run_interleaved`).
     """
 
     def __init__(
@@ -132,6 +136,7 @@ class WorkloadRunner:
         retries: int = 0,
         transaction_deadline: Optional[float] = None,
         use_prepared: bool = False,
+        mix: Optional[TransactionMix] = None,
     ) -> None:
         if transaction_deadline is not None and transaction_deadline <= 0:
             raise ValueError("the transaction deadline must be positive")
@@ -144,6 +149,7 @@ class WorkloadRunner:
         self.retries = retries
         self.transaction_deadline = transaction_deadline
         self.use_prepared = use_prepared
+        self.mix = mix
         self._prepared_cache: dict[str, Any] = {}
 
     def setup(self) -> None:
@@ -165,7 +171,7 @@ class WorkloadRunner:
         SQL error aborts the enclosing transaction (rollback-and-
         continue, the study's recovery baseline).
         """
-        generator = generator or TpccGenerator(seed=self.seed)
+        generator = generator or TpccGenerator(seed=self.seed, mix=self.mix)
         metrics = WorkloadMetrics()
         start = time.perf_counter()
         for transaction in generator.transactions(transaction_count):
@@ -204,6 +210,17 @@ class WorkloadRunner:
         return handle.execute(params)
 
     def _attempt(self, transaction: Transaction, metrics: WorkloadMetrics) -> bool:
+        steps = self._attempt_steps(transaction, metrics)
+        while True:
+            try:
+                next(steps)
+            except StopIteration as stop:
+                return bool(stop.value)
+
+    def _attempt_steps(self, transaction: Transaction, metrics: WorkloadMetrics):
+        """One transaction attempt as a generator: yields after every
+        executed statement (the statement-granularity interleaving
+        point); its return value is the attempt's success."""
         in_transaction = False
         budget = self.transaction_deadline
         spent = 0.0
@@ -253,7 +270,24 @@ class WorkloadRunner:
                     metrics.deadline_aborts += 1
                     self._abort(metrics, in_transaction)
                     return False
+            yield
         return True
+
+    def _terminal_steps(self, transaction: Transaction, metrics: WorkloadMetrics):
+        """:meth:`_run_transaction` as a generator (retries included),
+        yielding at every statement boundary so terminals can interleave
+        mid-transaction."""
+        aborted = False
+        for attempt in range(self.retries + 1):
+            ok = yield from self._attempt_steps(transaction, metrics)
+            if ok:
+                if attempt > 0:
+                    metrics.retried_successes += 1
+                return
+            if not aborted:
+                aborted = True
+                metrics.aborted_transactions += 1
+        metrics.exhausted_retries += 1
 
     def _abort(self, metrics: WorkloadMetrics, in_transaction: bool) -> None:
         metrics.aborted_attempts += 1
@@ -265,39 +299,78 @@ class WorkloadRunner:
 
 
 def run_interleaved(
-    runners: list[WorkloadRunner], transactions_each: int
+    runners: list[WorkloadRunner],
+    transactions_each: int,
+    *,
+    granularity: str = "transaction",
 ) -> WorkloadMetrics:
-    """Drive several runners as concurrent terminals, one transaction
-    at a time round-robin, and return their merged metrics.
+    """Drive several runners as concurrent terminals round-robin and
+    return their merged metrics.
 
     This is how "multiple clients" looks in a deterministic simulation:
-    terminal interleaving at transaction granularity, every terminal
-    with its own generator stream (seeded from its runner).  Against a
-    served endpoint the terminals contend for sessions, the parked
-    queue, and admission control exactly as concurrent clients would.
+    every terminal with its own generator stream (seeded and mixed from
+    its runner), contending for sessions, the parked queue, and
+    admission control exactly as concurrent clients would against a
+    served endpoint.
+
+    ``granularity`` picks the interleaving point: ``"transaction"``
+    rotates terminals between whole transactions (a terminal's BEGIN and
+    COMMIT are adjacent in the stream), ``"statement"`` rotates after
+    *every statement*, so other terminals' statements land inside an
+    open transaction — the schedule shape the conflict analyzer's
+    admission certificates adjudicate.
     """
+    if granularity not in ("transaction", "statement"):
+        raise ValueError(f"unknown interleaving granularity {granularity!r}")
     sessions = [
         (
             runner,
-            iter(TpccGenerator(seed=runner.seed).transactions(transactions_each)),
+            iter(
+                TpccGenerator(
+                    seed=runner.seed, mix=runner.mix
+                ).transactions(transactions_each)
+            ),
             WorkloadMetrics(),
         )
         for runner in runners
     ]
     start = time.perf_counter()
-    active = True
-    while active:
-        active = False
-        for runner, stream, metrics in sessions:
-            transaction = next(stream, None)
-            if transaction is None:
-                continue
-            active = True
-            metrics.transactions += 1
-            metrics.per_profile[transaction.name] = (
-                metrics.per_profile.get(transaction.name, 0) + 1
-            )
-            runner._run_transaction(transaction, metrics)
+    if granularity == "transaction":
+        active = True
+        while active:
+            active = False
+            for runner, stream, metrics in sessions:
+                transaction = next(stream, None)
+                if transaction is None:
+                    continue
+                active = True
+                metrics.transactions += 1
+                metrics.per_profile[transaction.name] = (
+                    metrics.per_profile.get(transaction.name, 0) + 1
+                )
+                runner._run_transaction(transaction, metrics)
+    else:
+        steps: list[Optional[Any]] = [None] * len(sessions)
+        active = True
+        while active:
+            active = False
+            for index, (runner, stream, metrics) in enumerate(sessions):
+                gen = steps[index]
+                if gen is None:
+                    transaction = next(stream, None)
+                    if transaction is None:
+                        continue
+                    metrics.transactions += 1
+                    metrics.per_profile[transaction.name] = (
+                        metrics.per_profile.get(transaction.name, 0) + 1
+                    )
+                    gen = runner._terminal_steps(transaction, metrics)
+                    steps[index] = gen
+                active = True
+                try:
+                    next(gen)
+                except StopIteration:
+                    steps[index] = None
     elapsed = time.perf_counter() - start
     merged = WorkloadMetrics()
     for _, _, metrics in sessions:

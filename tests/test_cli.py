@@ -76,8 +76,9 @@ class TestCli:
         assert main(["slice"]) == 2
 
     def test_lint_json_is_machine_readable(self, capsys):
-        # The shipped corpus lints clean, so --json emits no findings —
-        # and none of the human-readable summary either.
+        # The shipped corpus has no errors (warnings only), so --json
+        # exits 0; every emitted line is one JSON finding record and the
+        # human-readable summary is suppressed.
         assert main(["lint", "--json"]) == 0
         output = capsys.readouterr().out
         for line in output.splitlines():

@@ -251,7 +251,12 @@ class TestPortability:
 
 class TestReachabilityAndLint:
     def test_shipped_corpus_is_clean(self, corpus):
-        assert lint_corpus(corpus) == []
+        # Error-free; the corpus does carry warning-severity dead-code
+        # findings (bulk setup writes no SELECT observes), which lint
+        # reports without failing.
+        findings = lint_corpus(corpus)
+        assert [f for f in findings if f.severity == "error"] == []
+        assert all(f.severity == "warning" for f in findings)
 
     def test_every_seeded_fault_reachable(self, corpus):
         assert unreachable_faults(corpus) == []
@@ -269,7 +274,7 @@ class TestReachabilityAndLint:
                 ErrorEffect("unreachable"),
             )
         )
-        findings = lint_corpus(mutated)
+        findings = [f for f in lint_corpus(mutated) if f.severity == "error"]
         assert [f.check for f in findings] == ["dead-fault"]
         assert "LINT-DEAD" in findings[0].subject
 
