@@ -1,0 +1,299 @@
+"""Experiment P2 — what the compiled plan layer buys.
+
+Two throughput measurements over the TPC-C transaction mix against the
+four-version majority middleware (IB+PG+OR+MS), plus two correctness
+checks and a dual-plan oracle demonstration:
+
+* **Walker** — warm prepared execution with every replica's planner
+  disabled: each statement re-walks its AST per row (the pre-plan
+  executor).
+* **Planned** — the same stream with the planner on: statements compile
+  once into logical plans (predicate pushdown, constant folding,
+  projection pruning, index selection over unique-key sets) and then
+  into Python closures over row batches; executions replay the
+  closures.  The acceptance bar is planned >= 3x the warm throughput
+  recorded by ``BENCH_prepared.json`` before the plan layer existed.
+* **Corpus equivalence** — every runnable bug script from the 181-bug
+  corpus adjudicated twice, planner on vs planner off.  Detections,
+  masks, adjudication failures, and per-statement outcomes must be
+  byte-identical: the compiled path must never change what the
+  redundancy sees.
+* **Dual-plan oracle** — re-running each adjudicated SELECT through
+  both executors on one replica (``ServerConfig(dual_plan=True)``).
+  On pristine products the oracle must stay silent over the corpus; a
+  seeded :class:`~repro.faults.PlanStageBugEffect` (a wrong-result bug
+  living only inside the compiled executor) must be flagged even on a
+  single replica, where cross-replica voting sees nothing.
+
+Writes ``BENCH_plan.json`` next to the repository root.
+
+Run standalone for CI smoke coverage::
+
+    PYTHONPATH=src python benchmarks/bench_plan.py --smoke
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+BENCH_DIR = Path(__file__).resolve().parent
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from bench_prepared import (  # noqa: E402
+    KEYS,
+    SEED,
+    TRANSACTIONS,
+    TRIALS,
+    WARMUP,
+    fresh_server,
+    median_rate,
+    runnable_scripts,
+)
+
+from repro.bugs import build_corpus  # noqa: E402
+from repro.errors import AdjudicationFailure, SqlError  # noqa: E402
+from repro.faults import AlwaysTrigger, FaultSpec, PlanStageBugEffect  # noqa: E402
+from repro.middleware import DiverseServer, ReplicaState, ServerConfig  # noqa: E402
+from repro.servers import make_server  # noqa: E402
+from repro.study.runner import split_statements  # noqa: E402
+from repro.workload import TpccGenerator  # noqa: E402
+
+#: Warm prepared throughput recorded by experiment P1 before the plan
+#: layer existed — the trajectory baseline the full run is judged
+#: against (BENCH_prepared.json, four-version majority, same machine
+#: class).
+BASELINE_WARM = 1591.0
+
+
+def _baseline() -> float:
+    """The recorded pre-plan warm throughput, preferring the live
+    BENCH_prepared.json over the checked-in constant."""
+    path = ROOT / "BENCH_prepared.json"
+    try:
+        return float(json.loads(path.read_text())["warm_stmt_per_s"])
+    except (OSError, KeyError, ValueError):
+        return BASELINE_WARM
+
+
+def measure_warm(transactions, *, use_planner: bool) -> tuple[int, float]:
+    """(timed statements, elapsed) for warm prepared execution with the
+    planner toggled on every replica engine."""
+    server = fresh_server()
+    for replica in server.replicas:
+        replica.product.engine.use_planner = use_planner
+    handles: dict[str, object] = {}
+    statements = 0
+    elapsed = 0.0
+    for index, transaction in enumerate(transactions):
+        timed = index >= WARMUP
+        for template, params in transaction.prepared_calls():
+            handle = handles.get(template)
+            if handle is None:
+                handle = server.prepare(template)
+                handles[template] = handle
+            start = time.perf_counter()
+            handle.execute(params)
+            if timed:
+                elapsed += time.perf_counter() - start
+                statements += 1
+    return statements, elapsed
+
+
+def corpus_signature(corpus, scripts, *, use_planner: bool):
+    """Per-script adjudication signature with the planner toggled.
+
+    Each entry is (bug id, stats delta, per-statement outcomes) where a
+    stats delta is (disagreements, masks, adjudication failures) and an
+    outcome is the result rows or the error class that surfaced.
+    """
+    server = DiverseServer(
+        [make_server(key, corpus.faults_for(key)) for key in KEYS],
+        config=ServerConfig(adjudication="majority", auto_recover=False),
+    )
+    stats = server.stats
+    signature = []
+    for report in scripts:
+        for replica in server.replicas:
+            replica.product.reset()
+            replica.product.engine.use_planner = use_planner
+            replica.state = ReplicaState.ACTIVE
+        server._write_log.clear()
+        before = (
+            stats.disagreements_detected,
+            stats.failures_masked,
+            stats.adjudication_failures,
+        )
+        outcomes = []
+        for statement in split_statements(report.script):
+            try:
+                result = server.execute(statement)
+                outcomes.append(("ok", result.rows))
+            except AdjudicationFailure:
+                outcomes.append(("adjudication-failure",))
+            except SqlError:
+                outcomes.append(("sql-error",))
+        delta = tuple(
+            after - prior
+            for after, prior in zip(
+                (
+                    stats.disagreements_detected,
+                    stats.failures_masked,
+                    stats.adjudication_failures,
+                ),
+                before,
+            )
+        )
+        signature.append((report.bug_id, delta, outcomes))
+    return signature
+
+
+def dual_plan_clean(scripts) -> tuple[int, int]:
+    """(checks, divergences) over the corpus on pristine products: any
+    divergence here is a planner bug, not an injected fault."""
+    server = DiverseServer(
+        [make_server(key) for key in KEYS],
+        config=ServerConfig(
+            adjudication="majority", dual_plan=True, auto_recover=False
+        ),
+    )
+    for report in scripts:
+        for replica in server.replicas:
+            replica.product.reset()
+            replica.state = ReplicaState.ACTIVE
+        server._write_log.clear()
+        for statement in split_statements(report.script):
+            try:
+                server.execute(statement)
+            except (AdjudicationFailure, SqlError):
+                pass
+    return server.stats.dual_plan_checks, server.stats.dual_plan_divergences
+
+
+def dual_plan_injected() -> tuple[int, int]:
+    """(checks, divergences) on a single replica carrying a compiled-
+    executor-only wrong-result bug — invisible to cross-replica voting
+    (there is nothing to vote against), visible to the dual-plan
+    oracle."""
+    replica = make_server("IB")
+    replica.seed_fault(
+        FaultSpec(
+            fault_id="PLAN-BENCH",
+            description="compiled plan filter drops the last row",
+            trigger=AlwaysTrigger(),
+            effect=PlanStageBugEffect(),
+        )
+    )
+    server = DiverseServer(
+        [replica], config=ServerConfig(adjudication="primary", dual_plan=True)
+    )
+    server.execute(
+        "CREATE TABLE probe (id INTEGER PRIMARY KEY, qty INTEGER)"
+    )
+    for index in range(6):
+        server.execute(f"INSERT INTO probe (id, qty) VALUES ({index}, {index * 3})")
+    for statement in (
+        "SELECT id, qty FROM probe WHERE qty > 0 ORDER BY id",
+        "SELECT qty FROM probe WHERE id < 5 ORDER BY qty",
+    ):
+        server.execute(statement)
+    return server.stats.dual_plan_checks, server.stats.dual_plan_divergences
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast run with assertions (CI gate)")
+    parser.add_argument("--out", default=str(ROOT / "BENCH_plan.json"),
+                        help="where to write the JSON results")
+    args = parser.parse_args(argv)
+    count = 40 if args.smoke else TRANSACTIONS
+    corpus_limit = 40 if args.smoke else 10_000
+
+    transactions = list(TpccGenerator(seed=SEED).transactions(count))
+    walker = median_rate(
+        lambda: measure_warm(transactions, use_planner=False), TRIALS
+    )
+    planned = median_rate(
+        lambda: measure_warm(transactions, use_planner=True), TRIALS
+    )
+    baseline = _baseline()
+
+    print("=== P2a: TPC-C mix, four-version majority middleware (warm) ===")
+    print(f"{'executor':<28} {'stmt/s':>8}")
+    print(f"{'tree-walker (planner off)':<28} {walker:>8.0f}")
+    print(f"{'compiled plans (planner on)':<28} {planned:>8.0f}")
+    print(f"planned/walker {planned / walker:.2f}x   "
+          f"planned/baseline({baseline:.0f}) {planned / baseline:.2f}x")
+
+    corpus = build_corpus()
+    scripts = runnable_scripts(corpus, corpus_limit)
+    with_planner = corpus_signature(corpus, scripts, use_planner=True)
+    without = corpus_signature(corpus, scripts, use_planner=False)
+    identical = with_planner == without
+    detections = sum(1 for _, delta, _ in with_planner if any(delta))
+    print("\n=== P2b: adjudication equivalence on the bug corpus ===")
+    print(f"{len(scripts)} scripts, {detections} with detection events: "
+          f"planned vs walker outcomes "
+          f"{'identical' if identical else 'DIVERGED'}")
+    if not identical:
+        for planned_entry, walker_entry in zip(with_planner, without):
+            if planned_entry != walker_entry:
+                print(f"  first divergence: {planned_entry[0]}")
+                break
+
+    clean_checks, clean_divergences = dual_plan_clean(scripts)
+    injected_checks, injected_divergences = dual_plan_injected()
+    print("\n=== P2c: dual-plan divergence oracle ===")
+    print(f"clean corpus: {clean_checks} dual-plan checks, "
+          f"{clean_divergences} divergence(s)")
+    print(f"seeded plan-stage bug (single replica): {injected_checks} checks, "
+          f"{injected_divergences} divergence(s) flagged")
+
+    payload = {
+        "experiment": "planned query execution (P2)",
+        "mode": "smoke" if args.smoke else "full",
+        "transactions": count,
+        "trials": TRIALS,
+        "walker_stmt_per_s": round(walker, 1),
+        "planned_stmt_per_s": round(planned, 1),
+        "planned_over_walker": round(planned / walker, 2),
+        "baseline_warm_stmt_per_s": round(baseline, 1),
+        "planned_over_baseline": round(planned / baseline, 2),
+        "corpus_scripts_compared": len(scripts),
+        "adjudication_identical": identical,
+        "dual_plan_clean_checks": clean_checks,
+        "dual_plan_clean_divergences": clean_divergences,
+        "dual_plan_injected_divergences": injected_divergences,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    assert identical, "the planner changed an adjudication outcome"
+    assert clean_checks > 0 and clean_divergences == 0, (
+        f"dual-plan oracle fired {clean_divergences} time(s) on pristine "
+        "products — planner bug"
+    )
+    assert injected_divergences > 0, (
+        "dual-plan oracle missed the seeded compiled-executor bug"
+    )
+    assert planned > walker, (
+        f"planned {planned:.0f} <= walker {walker:.0f} stmt/s"
+    )
+    if not args.smoke:
+        assert planned >= 3 * baseline, (
+            f"planned {planned:.0f} < 3x baseline {baseline:.0f} stmt/s"
+        )
+    if args.smoke:
+        print("smoke assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

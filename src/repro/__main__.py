@@ -47,6 +47,14 @@ Commands
     Print a bug script's static trigger slice — the minimal statement
     subsequence that preserves the bug's reproduction — with the
     dropped statement indices.
+``explain "SQL"``
+    Show the optimized logical plan the planned executor compiles for
+    one statement against the TPC-C schema (rewrites applied, runtime
+    parameter checks), or the note naming the executor that runs it
+    when no plan applies.
+
+Every command validates its arguments up front: bad arguments print a
+usage line to stderr and exit 2 (never a traceback).
 """
 
 from __future__ import annotations
@@ -159,8 +167,12 @@ def cmd_report(path: str) -> int:
     from repro.study.reporting import study_report_markdown
 
     _, study = _run_study()
-    with open(path, "w") as handle:
-        handle.write(study_report_markdown(study))
+    try:
+        with open(path, "w") as handle:
+            handle.write(study_report_markdown(study))
+    except OSError as error:
+        print(f"cannot write {path!r}: {error}", file=sys.stderr)
+        return 2
     print(f"wrote {path}")
     return 0
 
@@ -177,7 +189,12 @@ def cmd_slice(bug_id: str) -> int:
     corpus = build_corpus()
     matches = [report for report in corpus if report.bug_id == bug_id]
     if not matches:
-        print(f"unknown bug id {bug_id!r}")
+        known = ", ".join(sorted(report.bug_id for report in corpus)[:4])
+        print(
+            f"usage: python -m repro slice BUG_ID\n"
+            f"  unknown bug id {bug_id!r} (known ids look like: {known}, ...)",
+            file=sys.stderr,
+        )
         return 2
     report = matches[0]
     sliced = minimize_report(report)
@@ -228,9 +245,33 @@ def cmd_conflicts(terminals: int) -> int:
 def cmd_export(path: str) -> int:
     from repro.bugs.serialize import corpus_to_json
 
-    with open(path, "w") as handle:
-        handle.write(corpus_to_json(build_corpus()))
+    try:
+        with open(path, "w") as handle:
+            handle.write(corpus_to_json(build_corpus()))
+    except OSError as error:
+        print(f"cannot write {path!r}: {error}", file=sys.stderr)
+        return 2
     print(f"wrote {path}")
+    return 0
+
+
+def cmd_explain(sql: str) -> int:
+    from repro.errors import SqlError
+    from repro.servers import make_server
+    from repro.workload.schema import SCHEMA_STATEMENTS
+
+    server = make_server("PG")
+    for statement in SCHEMA_STATEMENTS:
+        server.execute(statement)
+    try:
+        print(server.explain(sql))
+    except SqlError as error:
+        print(
+            f'usage: python -m repro explain "SQL"\n'
+            f"  cannot explain {sql!r}: {error}",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
@@ -265,10 +306,15 @@ def main(argv: list[str]) -> int:
     from repro.storms import STORMS, run_storm
 
     command = argv[0] if argv else "study"
-    if command == "study":
-        return cmd_study()
-    if command == "tables":
-        return cmd_tables()
+    if command in ("study", "tables"):
+        if len(argv) > 1:
+            print(
+                f"usage: python -m repro {command}\n"
+                f"  takes no arguments, got {argv[1:]!r}",
+                file=sys.stderr,
+            )
+            return 2
+        return cmd_study() if command == "study" else cmd_tables()
     if command == "tpcc":
         count = _parse_count(argv, 100, command)
         if count is None:
@@ -290,12 +336,25 @@ def main(argv: list[str]) -> int:
             return 2
         return cmd_conflicts(count)
     if command == "lint":
+        stray = [arg for arg in argv[1:] if arg != "--json"]
+        if stray:
+            print(
+                f"usage: python -m repro lint [--json]\n"
+                f"  unknown argument(s): {stray!r}",
+                file=sys.stderr,
+            )
+            return 2
         return cmd_lint(as_json="--json" in argv[1:])
     if command == "slice":
-        if len(argv) < 2:
-            print(__doc__)
+        if len(argv) != 2:
+            print("usage: python -m repro slice BUG_ID", file=sys.stderr)
             return 2
         return cmd_slice(argv[1])
+    if command == "explain":
+        if len(argv) < 2:
+            print('usage: python -m repro explain "SQL"', file=sys.stderr)
+            return 2
+        return cmd_explain(" ".join(argv[1:]))
     print(__doc__)
     return 2
 

@@ -149,6 +149,7 @@ def lint_corpus(corpus: "Corpus") -> list[LintFinding]:
     findings.extend(_check_storage_bank())
     findings.extend(_check_concurrency_bank())
     findings.extend(_check_dead_code(corpus))
+    findings.extend(_check_dead_rewrites(corpus))
     return findings
 
 
@@ -445,6 +446,81 @@ def _check_dead_code(corpus: "Corpus") -> list[LintFinding]:
     return findings
 
 
+def _check_dead_rewrites(corpus: "Corpus") -> list[LintFinding]:
+    """Warning-severity dead-rewrite detection.
+
+    Every rewrite rule registered in the planner
+    (:data:`repro.sqlengine.plan.REWRITE_RULES`) must fire on at least
+    one planner witness script, one corpus statement, or one generated
+    TPC-C (sqlgen) statement; a rule no script exercises is dead weight
+    whose correctness nothing tests.  Statements are replayed on a
+    pristine engine because rule applicability depends on live catalog
+    state (index selection reads the unique-key sets)."""
+    from repro.errors import ReproError
+    from repro.sqlengine.engine import Engine
+    from repro.sqlengine.plan import PROBE_SCRIPTS, REWRITE_RULES, PhysicalSelect
+    from repro.study.runner import split_statements
+    from repro.workload.generator import TpccGenerator
+    from repro.workload.schema import SCHEMA_STATEMENTS
+
+    all_rules = set(REWRITE_RULES)
+    exercised: set[str] = set()
+
+    def harvest(engine: Engine) -> None:
+        for _, _, plan in engine._plans.values():
+            if isinstance(plan, PhysicalSelect):
+                exercised.update(plan.plan.applied_rules)
+
+    # The planner's own witness scripts first (one per registered rule,
+    # cheap): a rule that silently regressed into never applying is
+    # caught even when no corpus script happens to exercise it.
+    engine = Engine(name="lint")
+    for sql in PROBE_SCRIPTS:
+        try:
+            engine.execute(sql)
+        except ReproError:
+            continue
+    harvest(engine)
+    if exercised >= all_rules:
+        return []
+
+    for report in corpus:
+        engine = Engine(name="lint")
+        for sql in split_statements(report.script):
+            try:
+                engine.execute(sql)
+            except ReproError:
+                continue  # scripts that error by design still compile plans
+        harvest(engine)
+        if exercised >= all_rules:
+            return []
+
+    engine = Engine(name="lint")
+    for sql in SCHEMA_STATEMENTS:
+        engine.execute(sql)
+    generator = TpccGenerator(seed=1)
+    for transaction in generator.transactions(4):
+        for sql in transaction.statements:
+            try:
+                engine.execute(sql)
+            except ReproError:
+                continue
+    harvest(engine)
+
+    return [
+        LintFinding(
+            check="dead-rewrite",
+            subject=rule,
+            severity="warning",
+            detail=(
+                "plan rewrite rule never fires on any corpus, generated "
+                "TPC-C, or planner witness statement"
+            ),
+        )
+        for rule in sorted(all_rules - exercised)
+    ]
+
+
 def run_lint(
     corpus: "Corpus",
     emit: Callable[[str], None] = print,
@@ -469,6 +545,6 @@ def run_lint(
             f"lint: corpus clean, {warnings} warning(s) (portability "
             "predictions, translator agreement, fault reachability, slice "
             "reproduction, proven agreement, storage-fault bank, "
-            "concurrency-fault bank, dead-code warnings)"
+            "concurrency-fault bank, dead-code and dead-rewrite warnings)"
         )
     return 0

@@ -39,6 +39,7 @@ from repro.faults.effects import (
     PartitionEffect,
     PerformanceEffect,
     PhantomRowEffect,
+    PlanStageBugEffect,
     ReorderFrameEffect,
     RowDropEffect,
     RowDuplicateEffect,
@@ -86,6 +87,7 @@ __all__ = [
     "PartitionEffect",
     "PerformanceEffect",
     "PhantomRowEffect",
+    "PlanStageBugEffect",
     "RecoveryTrigger",
     "RelationTrigger",
     "ReorderFrameEffect",

@@ -712,3 +712,19 @@ class BehaviourFlagEffect(Effect):
 
     def apply_after(self, ctx, result):  # pragma: no cover - never called
         return result
+
+
+class PlanStageBugEffect(BehaviourFlagEffect):
+    """A wrong-result bug inside the *compiled plan* executor only.
+
+    Sets the ``plan_filter_truncates`` flag, which the physical plan's
+    filter stage consults (it silently drops the last row of the scan
+    batch).  The tree-walker never reads the flag, so the same
+    statement on the same replica answers differently depending on the
+    execution strategy — exactly the fault class the dual-plan oracle
+    (``ServerConfig.dual_plan``) exists to catch, and one that
+    cross-replica voting misses when every replica runs the planner.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("plan_filter_truncates")

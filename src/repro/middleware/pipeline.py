@@ -66,6 +66,8 @@ class PipelineStats:
     divergence_misses: int = 0
     dataflow_hits: int = 0
     dataflow_misses: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
     #: Schema-generation bumps (each one invalidates the keyed layers).
     invalidations: int = 0
 
@@ -77,6 +79,7 @@ class PipelineStats:
             + self.verdict_hits
             + self.divergence_hits
             + self.dataflow_hits
+            + self.plan_hits
         )
 
     @property
@@ -87,6 +90,7 @@ class PipelineStats:
             + self.verdict_misses
             + self.divergence_misses
             + self.dataflow_misses
+            + self.plan_misses
         )
 
 
@@ -112,6 +116,7 @@ class StatementPipeline:
             tuple[str, int], StatementDivergence
         ] = OrderedDict()
         self._def_uses: OrderedDict[tuple[str, int], DefUse] = OrderedDict()
+        self._plans: OrderedDict[tuple[str, int], str] = OrderedDict()
 
     def bump_generation(self) -> None:
         """Record a schema change: entries keyed on the old generation
@@ -213,6 +218,25 @@ class StatementPipeline:
         self._store(self._def_uses, key, def_use)
         self.stats.dataflow_misses += 1
         return def_use
+
+    def plan(self, sql: str, catalog) -> str:
+        """Rendered logical plan (EXPLAIN text) for one statement,
+        memoized per schema generation.  The index-selection rewrite
+        reads the catalog's unique-key sets, so a stale entry after
+        ``CREATE INDEX`` would show the wrong plan — the generation key
+        makes that impossible."""
+        from repro.sqlengine.plan import explain_statement
+
+        key = (sql, self.generation)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self._plans.move_to_end(key)
+            self.stats.plan_hits += 1
+            return cached
+        text = explain_statement(sql, catalog)
+        self._store(self._plans, key, text)
+        self.stats.plan_misses += 1
+        return text
 
     # -- plumbing ----------------------------------------------------------
 

@@ -72,7 +72,6 @@ others continue" scenario of Section 2.1.
 
 from __future__ import annotations
 
-import warnings as _warnings
 from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
 
@@ -86,6 +85,7 @@ from repro.analysis.verdicts import DDL_KINDS, WRITE_KINDS, StatementVerdict
 from repro.errors import (
     AdjudicationFailure,
     EngineCrash,
+    FeatureNotSupported,
     MiddlewareError,
     NoReplicasAvailable,
     SqlError,
@@ -202,6 +202,14 @@ class MiddlewareStats:
     #: Disagreement rounds the analyzer could not prove benign (the
     #: genuinely suspicious ones; these drive quarantine as before).
     fault_indicating_divergences: int = 0
+    # -- dual-plan oracle counters ----------------------------------------
+    #: SELECTs re-executed through both the compiled plan and the
+    #: tree-walker on one replica (``ServerConfig.dual_plan``).
+    dual_plan_checks: int = 0
+    #: Checks where the two execution strategies disagreed — an
+    #: optimiser-level wrong answer that cross-replica voting cannot
+    #: see when every replica shares the same planner.
+    dual_plan_divergences: int = 0
     # -- prepared/batch counters -----------------------------------------
     #: ``executemany`` invocations (one adjudication round each).
     batches: int = 0
@@ -285,6 +293,13 @@ class ServerConfig:
     clock: Optional[VirtualClock] = None
     allow_duplicates: bool = False
     static_analysis: bool = True
+    #: Multi-plan divergence oracle (differential query execution): every
+    #: adjudicated SELECT is additionally run twice on one replica —
+    #: through its compiled plan and through the tree-walker — and the
+    #: two answers compared like replica votes.  Catches optimiser-level
+    #: wrong results that diverse voting misses when every replica
+    #: shares the planner.  Off by default (it doubles read work).
+    dual_plan: bool = False
     #: Bound on entries per pipeline cache layer (parse/translate/verdict).
     pipeline_capacity: int = 1024
     #: Durability subsystem (:class:`repro.durability.DurabilityManager`):
@@ -318,34 +333,17 @@ class DiverseServer:
     """A fault-tolerant SQL server built from diverse OTS products.
 
     Configure with a :class:`ServerConfig` (``config=``) or with the
-    equivalent individual keywords; mixing both is an error.  Positional
-    settings after ``replicas`` are deprecated (they map onto the config
-    fields in declaration order and emit :class:`DeprecationWarning`).
+    equivalent individual keywords; mixing both is an error.  Settings
+    are keyword-only — ``replicas`` is the only positional argument.
     """
 
     def __init__(
         self,
         replicas: Sequence[ServerProduct],
-        *args: Any,
+        *,
         config: Optional[ServerConfig] = None,
         **kwargs: Any,
     ) -> None:
-        if args:
-            _warnings.warn(
-                "positional DiverseServer settings are deprecated; pass a "
-                "ServerConfig or keyword arguments",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            names = ("adjudication", "normalize", "read_split", "auto_recover")
-            if len(args) > len(names):
-                raise MiddlewareError(
-                    f"too many positional settings ({len(args)}); use ServerConfig"
-                )
-            for name, value in zip(names, args):
-                if name in kwargs:
-                    raise MiddlewareError(f"duplicate setting {name!r}")
-                kwargs[name] = value
         if config is not None and kwargs:
             raise MiddlewareError(
                 "pass either config= or individual settings, not both"
@@ -406,6 +404,9 @@ class DiverseServer:
         self.ddl_listeners: list[Callable[[], None]] = []
         #: (sql, group leaders) pairs recorded in ``monitor`` mode.
         self.disagreement_log: list[tuple[str, list[str]]] = []
+        #: (sql, replica key) pairs where the dual-plan oracle found the
+        #: compiled plan and the tree-walker disagreeing.
+        self.dual_plan_log: list[tuple[str, str]] = []
         #: One entry per statement-deadline violation (service and
         #: recovery), alongside the fault audit.
         self.timeout_audit: list[TimeoutAuditEntry] = []
@@ -441,8 +442,15 @@ class DiverseServer:
 
     # -- execution -----------------------------------------------------------
 
-    def execute(self, sql: str) -> Result:
-        """Execute one statement through the redundant configuration."""
+    def execute(self, sql: str, params: Optional[Sequence[Any]] = None) -> Result:
+        """Execute one statement through the redundant configuration.
+
+        With ``params``, ``sql`` may contain ``?`` placeholders and is
+        routed through the (memoized) prepared pipeline — the unified
+        execution surface shared with :class:`~repro.servers.SqlServer`.
+        """
+        if params is not None:
+            return self.prepare(sql).execute(tuple(params))
         statement, traits, param_count = self.pipeline.parsed(sql)
         if param_count:
             raise MiddlewareError(
@@ -451,6 +459,13 @@ class DiverseServer:
             )
         call = StatementCall(sql=sql, bound_sql=sql)
         return self._execute_bound(call, statement, traits)
+
+    def explain(self, sql: str) -> str:
+        """Render the logical plan one replica's planner would use for
+        ``sql`` (memoized per statement text and schema generation)."""
+        active = self.active_replicas()
+        catalog = active[0].product.engine.catalog if active else None
+        return self.pipeline.plan(sql, catalog)
 
     def def_use(self, sql: str):
         """Def/use cells of one statement against the current schema.
@@ -536,12 +551,84 @@ class DiverseServer:
                 self.supervisor.maybe_checkpoint()
             if self.durability is not None:
                 self.durability.maybe_checkpoint()
+        if (
+            self.config.dual_plan
+            and not is_write
+            and isinstance(statement, ast.SelectStatement)
+        ):
+            self._dual_plan_check(call, verdict, result)
         if policy != self.adjudication:
             result.warnings.append(
                 f"adjudication degraded from {self.adjudication!r} to {policy!r}"
                 " (too few active replicas)"
             )
         return result
+
+    # -- dual-plan oracle --------------------------------------------------
+
+    def _dual_plan_check(
+        self,
+        call: StatementCall,
+        verdict: Optional[StatementVerdict],
+        result: Result,
+    ) -> None:
+        """Multi-plan divergence oracle: re-run the SELECT twice on one
+        replica — once through its compiled plan, once through the
+        tree-walker — and compare the two answers exactly as replica
+        votes are compared (same normalisation, same order verdict).
+        Disagreement means an optimiser/executor-level wrong answer on
+        that replica, a fault class cross-replica voting cannot see
+        when every replica shares the same planner."""
+        active = self.active_replicas()
+        if not active:
+            return
+        replica = active[0]
+        engine = replica.product.engine
+        answers: list[ReplicaAnswer] = []
+        for label, use_planner in (("planned", True), ("walker", False)):
+            engine.use_planner = use_planner
+            try:
+                if call.prepared is not None:
+                    answer_result = call.prepared._execute_on_replica(
+                        replica, call.params
+                    )
+                else:
+                    translated = self.pipeline.translation(
+                        call.sql, replica.product.descriptor
+                    )
+                    answer_result = replica.product.execute(translated)
+                answers.append(
+                    ReplicaAnswer(
+                        replica=label,
+                        status="ok",
+                        columns=tuple(answer_result.columns),
+                        rows=tuple(answer_result.rows),
+                        rowcount=answer_result.rowcount,
+                        virtual_cost=answer_result.virtual_cost,
+                        result=answer_result,
+                    )
+                )
+            except EngineCrash:
+                replica.product.restart()
+                answers.append(ReplicaAnswer(replica=label, status="crash"))
+            except (SqlError, FeatureNotSupported) as error:
+                answers.append(
+                    ReplicaAnswer(replica=label, status="error", error=str(error))
+                )
+            finally:
+                engine.use_planner = True
+        if any(answer.status == "crash" for answer in answers):
+            return  # a crashed run proves nothing about the planner
+        self.stats.dual_plan_checks += 1
+        ordered = not (verdict is not None and verdict.multiset_comparable)
+        comparison = self.comparator.compare(answers, ordered=ordered)
+        if not comparison.unanimous:
+            self.stats.dual_plan_divergences += 1
+            self.dual_plan_log.append((call.bound_sql, replica.key))
+            result.warnings.append(
+                f"dual-plan divergence on {replica.key}: compiled plan and "
+                "tree-walker disagree"
+            )
 
     def execute_script(self, sql: str) -> list[Result]:
         from repro.study.runner import split_statements

@@ -7,6 +7,7 @@ holding that product's seeded fault catalog.
 """
 
 from repro.servers.product import ServerProduct, SqlServer
+from repro.sqlengine.engine import Result
 from repro.servers.registry import (
     make_all_servers,
     make_interbase,
@@ -17,6 +18,7 @@ from repro.servers.registry import (
 )
 
 __all__ = [
+    "Result",
     "ServerProduct",
     "SqlServer",
     "make_all_servers",

@@ -62,9 +62,23 @@ class ServerProduct:
 
     # -- execution ----------------------------------------------------------
 
-    def execute(self, sql: str) -> Result:
-        """Execute SQL (all statements), returning the last result."""
+    def execute(self, sql: str, params=None) -> Result:
+        """Execute SQL, returning the last :class:`Result`.
+
+        With ``params``, ``sql`` is one statement with ``?``
+        placeholders, routed through the (memoized) prepared path — the
+        unified execution surface shared with
+        :class:`~repro.middleware.DiverseServer`."""
+        if params is not None:
+            return self.engine.prepare(sql).execute(tuple(params))
         return self.engine.execute(sql)
+
+    def explain(self, sql: str) -> str:
+        """Render the logical plan the engine's planner would use for
+        one statement (or a note naming the executor that runs it)."""
+        from repro.sqlengine.plan import explain_statement
+
+        return explain_statement(sql, self.engine.catalog)
 
     def execute_script(self, sql: str) -> list[Result]:
         return self.engine.execute_script(sql)

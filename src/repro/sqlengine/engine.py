@@ -27,6 +27,8 @@ from repro.sqlengine.catalog import Catalog, ColumnDef, IndexDef, TableSchema, V
 from repro.sqlengine.executor import QueryResult, SelectExecutor
 from repro.sqlengine.expressions import ColumnBinding, Environment
 from repro.sqlengine.parser import parse_prepared, parse_script
+from repro.sqlengine.plan.dml import compile_statement
+from repro.sqlengine.plan.logical import PlanRuntimeFallback
 from repro.sqlengine.storage import Storage
 from repro.sqlengine.transactions import TransactionManager
 from repro.sqlengine.typenames import resolve_type
@@ -126,6 +128,9 @@ StatementValidator = Callable[[ast.Statement, StatementTraits], None]
 #: Upper bound on memoized prepared handles per engine; evicts oldest.
 _PREPARED_CACHE_SIZE = 512
 
+#: Upper bound on cached compiled plans per engine; evicts oldest.
+_PLAN_CACHE_SIZE = 512
+
 
 class Engine:
     """One in-memory SQL database instance."""
@@ -150,10 +155,14 @@ class Engine:
         self._prepared: dict[str, EnginePrepared] = {}
         #: table key -> (schema generation, uniqueness constraint sets).
         self._unique_sets: dict[str, tuple[int, list]] = {}
-        #: (table key, constraint indices) -> (schema generation,
-        #: storage version, set of existing key tuples).  Makes the
-        #: uniqueness probe for a plain INSERT O(1) instead of a scan.
-        self._unique_keys: dict[tuple[str, tuple[int, ...]], tuple[int, int, set]] = {}
+        #: Compiled statement plans, keyed by AST identity (each entry
+        #: holds a strong statement reference so ids cannot be
+        #: recycled), guarded by the schema generation.  ``None``
+        #: records "not plannable — use the tree-walker".
+        self._plans: dict[int, tuple[Any, int, Any]] = {}
+        #: Planner kill switch: the dual-plan oracle and benchmarks
+        #: toggle this to force interpreted (tree-walker) execution.
+        self.use_planner = True
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -163,7 +172,7 @@ class Engine:
         self.catalog.clear()
         self.storage.clear()
         self._unique_sets.clear()
-        self._unique_keys.clear()
+        self._plans.clear()
         self.crashed = False
 
     def restart(self) -> None:
@@ -187,7 +196,7 @@ class Engine:
         # A restore rewinds the generation counter, so generation-keyed
         # caches cannot be trusted across it.
         self._unique_sets.clear()
-        self._unique_keys.clear()
+        self._plans.clear()
         self.crashed = False
 
     # -- execution -----------------------------------------------------------
@@ -246,14 +255,7 @@ class Engine:
 
     def _dispatch(self, stmt: ast.Statement, ctx: ExecutionContext) -> Result:
         if isinstance(stmt, ast.SelectStatement):
-            executor = SelectExecutor(self, ctx)
-            output: QueryResult = executor.execute_select(stmt)
-            return Result(
-                kind="select",
-                columns=output.columns,
-                rows=output.rows,
-                rowcount=len(output.rows),
-            )
+            return self._execute_select(stmt, ctx)
         if isinstance(stmt, ast.Insert):
             return self._execute_insert(stmt, ctx)
         if isinstance(stmt, ast.Update):
@@ -291,9 +293,68 @@ class Engine:
             return Result(kind="txn")
         raise SqlError(f"unsupported statement {type(stmt).__name__}")  # pragma: no cover
 
+    # -- planned execution -----------------------------------------------------
+
+    def _cached_plan(self, stmt: ast.Statement) -> Any:
+        """The compiled plan for this AST, or None when unplannable.
+
+        Keyed by object identity with a strong statement reference (so
+        ids cannot be recycled) — prepared statements re-execute the
+        same AST object, which is what makes the cache hit.  Statement
+        *text* is not a safe key: every statement of a multi-statement
+        script shares one source text.
+        """
+        entry = self._plans.get(id(stmt))
+        generation = self.catalog.generation
+        if entry is not None and entry[0] is stmt and entry[1] == generation:
+            return entry[2]
+        try:
+            plan = compile_statement(stmt, self)
+        except Exception:
+            # Outside the planner's subset (PlanUnsupported), or the
+            # statement will fail in a way the walker must report (an
+            # unknown table, say): the interpreted path is authoritative
+            # for both, so record "no plan" and step aside.
+            plan = None
+        if len(self._plans) >= _PLAN_CACHE_SIZE:
+            self._plans.pop(next(iter(self._plans)))
+        self._plans[id(stmt)] = (stmt, generation, plan)
+        return plan
+
+    def _execute_select(self, stmt: ast.SelectStatement, ctx: ExecutionContext) -> Result:
+        if self.use_planner:
+            plan = self._cached_plan(stmt)
+            if plan is not None:
+                try:
+                    output = plan.execute(ctx)
+                except PlanRuntimeFallback:
+                    output = None
+                if output is not None:
+                    return Result(
+                        kind="select",
+                        columns=output.columns,
+                        rows=output.rows,
+                        rowcount=len(output.rows),
+                    )
+        executor = SelectExecutor(self, ctx)
+        output = executor.execute_select(stmt)
+        return Result(
+            kind="select",
+            columns=output.columns,
+            rows=output.rows,
+            rowcount=len(output.rows),
+        )
+
     # -- DML -------------------------------------------------------------------
 
     def _execute_insert(self, stmt: ast.Insert, ctx: ExecutionContext) -> Result:
+        if self.use_planner:
+            planned = self._cached_plan(stmt)
+            if planned is not None:
+                try:
+                    return planned.execute(ctx)
+                except PlanRuntimeFallback:
+                    pass
         schema = self.catalog.table(stmt.table)
         data = self.storage.get(stmt.table)
         executor = SelectExecutor(self, ctx)
@@ -313,6 +374,19 @@ class Engine:
         else:
             source_rows = executor.execute_select(stmt.query).rows
 
+        return self._insert_rows(schema, data, target_indices, source_rows, ctx)
+
+    def _insert_rows(
+        self,
+        schema: TableSchema,
+        data,
+        target_indices: list[int],
+        source_rows: list[tuple],
+        ctx: ExecutionContext,
+    ) -> Result:
+        """Validate and store evaluated INSERT rows (shared by the
+        interpreted and planned paths): all checks run against the
+        pending batch before any row lands in the heap."""
         inserted: list[list[Any]] = []
         pending: list[list[Any]] = []
         for source in source_rows:
@@ -326,7 +400,6 @@ class Engine:
             pending.append(row)
         for row in pending:
             stored = data.insert(row)
-            self._note_inserted(schema, data, stored)
             inserted.append(stored)
             self.transactions.record(lambda r=stored, d=data: d.remove_row(r))
         return Result(kind="dml", rowcount=len(inserted))
@@ -417,7 +490,6 @@ class Engine:
         pending: list[list[Any]] = (),
         skip: Optional[list[Any]] = None,
     ) -> None:
-        plain_insert = skip is None and not pending
         for indices, is_primary in self._unique_column_sets(schema):
             values = [row[i] for i in indices]
             if any(value is None for value in values):
@@ -427,16 +499,22 @@ class Engine:
                     )
                 continue  # SQL UNIQUE ignores NULLs
             key = row_key(tuple(values))
-            if plain_insert:
-                # A new row checked against the table alone: probe the
-                # maintained key set instead of scanning the heap.
-                if key in self._unique_keyset(schema, data, indices):
+            index = data.unique_index(tuple(indices))
+            if index is not None:
+                # Maintained-index probe: O(1) against the heap, then
+                # just the (small) pending batch linearly.
+                hit = index.map.get(key)
+                if hit is not None and hit is not row and hit is not skip:
                     label = "primary key" if is_primary else "unique"
                     raise ConstraintViolation(
                         f"{label} constraint violated on {schema.name!r}"
                     )
-                continue
-            for existing in itertools.chain(data.rows(), pending):
+                candidates: Any = pending
+            else:
+                # The heap itself cannot be uniquely indexed (duplicate
+                # or unkeyable stored values): scan, as before.
+                candidates = itertools.chain(data.rows(), pending)
+            for existing in candidates:
                 if existing is row or existing is skip:
                     continue
                 if row_key(tuple(existing[i] for i in indices)) == key:
@@ -445,43 +523,14 @@ class Engine:
                         f"{label} constraint violated on {schema.name!r}"
                     )
 
-    def _unique_keyset(self, schema: TableSchema, data, indices: list[int]) -> set:
-        """The set of existing key tuples for one uniqueness constraint.
-
-        Validity is guarded by both the schema generation (DDL changes
-        the constraint structure) and the storage version (any heap
-        mutation).  Plain INSERTs keep the set current incrementally
-        via :meth:`_note_inserted`; every other mutation just stales it
-        and the next probe rebuilds.
-        """
-        cache_key = (schema.name.lower(), tuple(indices))
-        generation = self.catalog.generation
-        entry = self._unique_keys.get(cache_key)
-        if entry is not None and entry[0] == generation and entry[1] == data.version:
-            return entry[2]
-        keyset = set()
-        for existing in data.rows():
-            values = [existing[i] for i in indices]
-            if any(value is None for value in values):
-                continue  # NULLs never collide (SQL UNIQUE semantics)
-            keyset.add(row_key(tuple(values)))
-        self._unique_keys[cache_key] = (generation, data.version, keyset)
-        return keyset
-
-    def _note_inserted(self, schema: TableSchema, data, row: list[Any]) -> None:
-        """Fold a just-inserted row into any current unique key sets."""
-        generation = self.catalog.generation
-        for indices, _ in self._unique_column_sets(schema):
-            cache_key = (schema.name.lower(), tuple(indices))
-            entry = self._unique_keys.get(cache_key)
-            if entry is None or entry[0] != generation or entry[1] != data.version - 1:
-                continue  # stale anyway; next probe rebuilds
-            values = [row[i] for i in indices]
-            if not any(value is None for value in values):
-                entry[2].add(row_key(tuple(values)))
-            self._unique_keys[cache_key] = (generation, data.version, entry[2])
-
     def _execute_update(self, stmt: ast.Update, ctx: ExecutionContext) -> Result:
+        if self.use_planner:
+            planned = self._cached_plan(stmt)
+            if planned is not None:
+                try:
+                    return planned.execute(ctx)
+                except PlanRuntimeFallback:
+                    pass
         schema = self.catalog.table(stmt.table)
         data = self.storage.get(stmt.table)
         executor = SelectExecutor(self, ctx)
@@ -502,26 +551,41 @@ class Engine:
                 column = schema.columns[index]
                 value = executor.evaluator.evaluate(expr, env)
                 new_values[index] = cast_value(value, column.sql_type, implicit=True)
-            old_values = {index: row[index] for index in new_values}
-            candidate = list(row)
-            for index, value in new_values.items():
-                candidate[index] = value
-            self._check_row_constraints(schema, candidate, ctx)
-            self._check_uniqueness(schema, data, candidate, skip=row)
-            for index, value in new_values.items():
-                row[index] = value
-            data.touch()  # in-place patch: invalidate version-keyed caches
+            self.apply_row_update(schema, data, row, new_values, ctx)
             updated += 1
-
-            def undo(r=row, old=old_values, d=data):
-                for i, v in old.items():
-                    r[i] = v
-                d.touch()
-
-            self.transactions.record(undo)
         return Result(kind="dml", rowcount=updated)
 
+    def apply_row_update(
+        self,
+        schema: TableSchema,
+        data,
+        row: list[Any],
+        new_values: dict[int, Any],
+        ctx: ExecutionContext,
+    ) -> None:
+        """Validate and apply one row's UPDATE, recording undo.  Shared
+        by the interpreted scan and the planned UPDATE path; goes
+        through :meth:`TableData.update_row` so maintained unique
+        indexes stay consistent without a rebuild."""
+        old_values = {index: row[index] for index in new_values}
+        candidate = list(row)
+        for index, value in new_values.items():
+            candidate[index] = value
+        self._check_row_constraints(schema, candidate, ctx)
+        self._check_uniqueness(schema, data, candidate, skip=row)
+        data.update_row(row, new_values)
+        self.transactions.record(
+            lambda r=row, old=old_values, d=data: d.update_row(r, old)
+        )
+
     def _execute_delete(self, stmt: ast.Delete, ctx: ExecutionContext) -> Result:
+        if self.use_planner:
+            planned = self._cached_plan(stmt)
+            if planned is not None:
+                try:
+                    return planned.execute(ctx)
+                except PlanRuntimeFallback:
+                    pass
         schema = self.catalog.table(stmt.table)
         data = self.storage.get(stmt.table)
         executor = SelectExecutor(self, ctx)

@@ -1,0 +1,253 @@
+"""Compiled DML: planned INSERT / UPDATE / DELETE execution.
+
+DML planning reuses the expression compiler and, for UPDATE, the same
+unique-key point-lookup machinery as SELECT plans.  Each planned
+statement mirrors the engine's interpreted path exactly — evaluation
+order, cast points, constraint checks, undo records — by delegating the
+shared mutation tail back to the engine
+(:meth:`Engine._insert_rows` / :meth:`Engine.apply_row_update`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.expressions import ColumnBinding
+from repro.sqlengine.plan.compiler import Scope, compile_expression
+from repro.sqlengine.plan.logical import (
+    LogicalPlan,
+    PlanRuntimeFallback,
+    PlanUnsupported,
+    Scan,
+    _table_unique_sets,
+    kind_of_type,
+    kind_of_value,
+    kinds_compatible,
+)
+from repro.sqlengine.plan.physical import _join_key
+from repro.sqlengine.types import cast_value
+
+
+def _reject_subqueries(expr: ast.Expression) -> None:
+    for node in ast.walk_expressions(expr):
+        if isinstance(node, (ast.ExistsPredicate, ast.ScalarSubquery)):
+            raise PlanUnsupported("subquery expression")
+        if isinstance(node, ast.InPredicate) and node.subquery is not None:
+            raise PlanUnsupported("IN subquery")
+
+
+def _table_plan(stmt: ast.Statement, engine, schema) -> LogicalPlan:
+    """A single-scan pseudo-plan so DML can reuse the SELECT analyzer
+    (the walker binds DML rows under the schema's declared name)."""
+    scan = Scan(table=schema.name, label=schema.name, width=len(schema.columns))
+    bindings = [ColumnBinding(schema.name, column.name) for column in schema.columns]
+    kinds = [kind_of_type(column.sql_type) for column in schema.columns]
+    return LogicalPlan(
+        statement=stmt,
+        core=None,
+        root=None,
+        scans=[scan],
+        bindings=bindings,
+        kinds=kinds,
+        unique_sets=[_table_unique_sets(engine.catalog, schema)],
+    )
+
+
+class PlannedInsert:
+    """INSERT ... VALUES with pre-compiled value closures."""
+
+    def __init__(self, stmt: ast.Insert, engine) -> None:
+        if stmt.rows is None:
+            raise PlanUnsupported("INSERT ... SELECT")
+        self._engine = engine
+        self._table = stmt.table
+        schema = engine.catalog.table(stmt.table)
+        if stmt.columns is not None:
+            target = [schema.column_index(name) for name in stmt.columns]
+            if len(set(target)) != len(target):
+                raise PlanUnsupported("duplicate INSERT column")
+        else:
+            target = list(range(len(schema.columns)))
+        self._target_indices = target
+        scope = Scope((), no_row=True)
+        rows = []
+        for row in stmt.rows:
+            for expr in row:
+                _reject_subqueries(expr)
+            if len(row) != len(target):
+                raise PlanUnsupported("INSERT width mismatch")
+            rows.append([compile_expression(expr, scope) for expr in row])
+        self._rows = rows
+
+    def execute(self, ctx) -> Any:
+        engine = self._engine
+        schema = engine.catalog.table(self._table)
+        data = engine.storage.get(self._table)
+        source_rows = [
+            tuple(closure(None, None, ctx) for closure in row) for row in self._rows
+        ]
+        return engine._insert_rows(
+            schema, data, self._target_indices, source_rows, ctx
+        )
+
+
+class PlannedUpdate:
+    """UPDATE with a compiled predicate and, when the WHERE clause is
+    total and pins a unique key, an index point lookup instead of a
+    heap scan."""
+
+    def __init__(self, stmt: ast.Update, engine) -> None:
+        self._engine = engine
+        self._table = stmt.table
+        schema = engine.catalog.table(stmt.table)
+        plan = _table_plan(stmt, engine, schema)
+        scope = Scope(plan.bindings)
+        if stmt.where is not None:
+            _reject_subqueries(stmt.where)
+        for _, expr in stmt.assignments:
+            _reject_subqueries(expr)
+        self._where = (
+            compile_expression(stmt.where, scope) if stmt.where is not None else None
+        )
+        self._assignments = []
+        for name, expr in stmt.assignments:
+            index = schema.column_index(name)
+            self._assignments.append(
+                (index, schema.columns[index].sql_type, compile_expression(expr, scope))
+            )
+        self._probe = self._compile_probe(stmt.where, plan, scope)
+        self._param_checks = tuple(plan.param_checks)
+
+    def _compile_probe(self, where, plan: LogicalPlan, scope: Scope):
+        """(key indices, key getters, key kinds) when the WHERE clause is
+        total and pins every column of a uniqueness constraint."""
+        if where is None:
+            return None
+        from repro.sqlengine.plan.rewrites import _Analyzer, split_conjuncts
+
+        analyzer = _Analyzer(plan)
+        conjuncts = split_conjuncts(where)
+        checks: list = []
+        if not all(analyzer.is_total(conjunct, checks) for conjunct in conjuncts):
+            return None
+        pinned: dict[int, ast.Expression] = {}
+        for conjunct in conjuncts:
+            if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+                continue
+            for column, value in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if not isinstance(column, ast.ColumnRef):
+                    continue
+                if not isinstance(value, (ast.Literal, ast.Parameter)):
+                    continue
+                index = analyzer.resolve(column)
+                if index is not None:
+                    pinned.setdefault(index, value)
+        if not pinned:
+            return None
+        for _, _, indices in plan.unique_sets[0]:
+            if all(local in pinned for local in indices):
+                kinds = [plan.kinds[local] for local in indices]
+                if any(kind is None for kind in kinds):
+                    continue
+                getters = [
+                    compile_expression(pinned[local], scope) for local in indices
+                ]
+                plan.param_checks.extend(checks)
+                return (tuple(indices), getters, kinds)
+        return None
+
+    def execute(self, ctx) -> Any:
+        params = ctx.params
+        for index, expected in self._param_checks:
+            if index >= len(params):
+                raise PlanRuntimeFallback("unbound parameter")
+            if not kinds_compatible(kind_of_value(params[index]), expected):
+                raise PlanRuntimeFallback("parameter kind mismatch")
+        engine = self._engine
+        schema = engine.catalog.table(self._table)
+        data = engine.storage.get(self._table)
+        candidates = self._candidate_rows(data, ctx)
+        where = self._where
+        updated = 0
+        for row in candidates:
+            if where is not None and where(row, None, ctx) is not True:
+                continue
+            new_values: dict[int, Any] = {}
+            for index, sql_type, closure in self._assignments:
+                value = closure(row, None, ctx)
+                new_values[index] = cast_value(value, sql_type, implicit=True)
+            engine.apply_row_update(schema, data, row, new_values, ctx)
+            updated += 1
+        from repro.sqlengine.engine import Result
+
+        return Result(kind="dml", rowcount=updated)
+
+    def _candidate_rows(self, data, ctx) -> list:
+        if self._probe is None:
+            return data.rows()
+        indices, getters, kinds = self._probe
+        index = data.unique_index(indices)
+        if index is None:
+            raise PlanRuntimeFallback("unique index unavailable")
+        for position, stored_kinds in enumerate(index.kinds):
+            if stored_kinds - {kinds[position]}:
+                raise PlanRuntimeFallback("heterogeneous stored key kinds")
+        key = []
+        for getter, expected in zip(getters, kinds):
+            value = getter(None, None, ctx)
+            if value is None:
+                return []  # `col = NULL` matches nothing
+            part = _join_key(value, expected)
+            if part is None:
+                raise PlanRuntimeFallback("probe value kind mismatch")
+            key.append(part)
+        row = index.map.get(tuple(key))
+        return [row] if row is not None else []
+
+
+class PlannedDelete:
+    """DELETE with a compiled predicate over the heap scan."""
+
+    def __init__(self, stmt: ast.Delete, engine) -> None:
+        self._engine = engine
+        self._table = stmt.table
+        schema = engine.catalog.table(stmt.table)
+        if stmt.where is not None:
+            _reject_subqueries(stmt.where)
+            plan = _table_plan(stmt, engine, schema)
+            self._where = compile_expression(stmt.where, Scope(plan.bindings))
+        else:
+            self._where = None
+
+    def execute(self, ctx) -> Any:
+        engine = self._engine
+        engine.catalog.table(self._table)  # raises if dropped (defensive)
+        data = engine.storage.get(self._table)
+        where = self._where
+        if where is None:
+            removed = data.delete_rows(lambda row: True)
+        else:
+            removed = data.delete_rows(lambda row: where(row, None, ctx) is True)
+        engine.transactions.record(lambda r=removed, d=data: d.restore_rows(r))
+        from repro.sqlengine.engine import Result
+
+        return Result(kind="dml", rowcount=len(removed))
+
+
+def compile_statement(stmt: ast.Statement, engine) -> Optional[Any]:
+    """Compile any plannable statement; None for kinds with no planner."""
+    from repro.sqlengine.plan.physical import compile_select
+
+    if isinstance(stmt, ast.SelectStatement):
+        return compile_select(stmt, engine)
+    if isinstance(stmt, ast.Insert):
+        return PlannedInsert(stmt, engine)
+    if isinstance(stmt, ast.Update):
+        return PlannedUpdate(stmt, engine)
+    if isinstance(stmt, ast.Delete):
+        return PlannedDelete(stmt, engine)
+    return None

@@ -1,0 +1,606 @@
+"""Rule-based logical-plan rewrites.
+
+Every rule must preserve the tree-walker's observable semantics
+*exactly*: the same rows in the same order, and — harder — the same
+errors.  The walker evaluates the whole WHERE clause on every candidate
+row (three-valued AND evaluates both operands), so any rewrite that
+changes *which rows* an expression is evaluated on is only sound when
+that expression is **total**: provably unable to raise for any row.
+Totality is decided statically from declared column kinds, with
+parameter kinds deferred to a cheap per-execution check
+(:attr:`LogicalPlan.param_checks`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.expressions import _AMBIGUOUS, _resolution_map
+from repro.sqlengine.plan import logical
+from repro.sqlengine.plan.logical import (
+    Aggregate,
+    CrossJoin,
+    Distinct,
+    Filter,
+    HashJoin,
+    IndexLookup,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    kind_of_value,
+    kinds_compatible,
+)
+from repro.sqlengine.values import (
+    sql_add,
+    sql_compare,
+    sql_concat,
+    sql_div,
+    sql_mul,
+    sql_neg,
+    sql_sub,
+    tri_and,
+    tri_not,
+    tri_or,
+)
+
+_COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
+_ARITHMETIC = {"+": sql_add, "-": sql_sub, "*": sql_mul, "/": sql_div}
+
+
+# -- shared analysis ---------------------------------------------------------
+
+
+class _NotTotal(Exception):
+    """Internal: the analyzed expression may raise for some row."""
+
+
+class _Analyzer:
+    """Static totality/shape analysis against a plan's combined bindings."""
+
+    def __init__(self, plan: LogicalPlan) -> None:
+        self._plan = plan
+        self._resolution = _resolution_map(plan.bindings)
+        #: Combined-column offset ranges per scan position.
+        self._ranges = [
+            (scan.offset, scan.offset + scan.width) for scan in plan.scans
+        ]
+
+    def resolve(self, ref: ast.ColumnRef) -> Optional[int]:
+        """Combined column index, or None for unknown/ambiguous refs."""
+        index = self._resolution.get(ref.key)
+        if index is None or index == _AMBIGUOUS:
+            return None
+        return index
+
+    def scan_of(self, column_index: int) -> int:
+        for position, (low, high) in enumerate(self._ranges):
+            if low <= column_index < high:
+                return position
+        raise AssertionError("column index outside all scans")
+
+    def scans_used(self, expr: ast.Expression) -> Optional[set[int]]:
+        """Scan positions referenced by ``expr``; None when a reference
+        does not resolve (unknown or ambiguous column)."""
+        used: set[int] = set()
+        for node in ast.walk_expressions(expr):
+            if isinstance(node, ast.ColumnRef):
+                index = self.resolve(node)
+                if index is None:
+                    return None
+                used.add(self.scan_of(index))
+        return used
+
+    # -- totality ----------------------------------------------------------
+
+    def operand_kind(self, expr: ast.Expression, checks: list) -> Any:
+        """Comparison kind of a simple operand: a kind tag, the marker
+        ``("param", i)``, or :class:`_NotTotal`."""
+        if isinstance(expr, ast.Literal):
+            kind = kind_of_value(expr.value)
+            if kind is None:
+                raise _NotTotal
+            return kind
+        if isinstance(expr, ast.ColumnRef):
+            index = self.resolve(expr)
+            if index is None:
+                raise _NotTotal
+            kind = self._plan.kinds[index]
+            if kind is None or kind == "b":
+                # Boolean columns are rare and their numeric reconcile
+                # rules are asymmetric; keep them on the walker.
+                raise _NotTotal
+            return kind
+        if isinstance(expr, ast.Parameter):
+            return ("param", expr.index)
+        raise _NotTotal
+
+    def _pair_total(self, left: Any, right: Any, checks: list) -> None:
+        """Require that comparing operands of these kinds never raises,
+        deferring parameter kinds to runtime checks."""
+        if isinstance(left, tuple) and isinstance(right, tuple):
+            raise _NotTotal  # parameter-vs-parameter: kind unknowable
+        if isinstance(left, tuple):
+            left, right = right, left
+        if isinstance(right, tuple):
+            if left == "null":
+                return
+            checks.append((right[1], left))
+            return
+        if not kinds_compatible(left, right):
+            raise _NotTotal
+
+    def total_boolean(self, expr: ast.Expression, checks: list) -> None:
+        """Raise :class:`_NotTotal` unless ``expr`` is a boolean-valued
+        expression that can never raise, whatever row it sees."""
+        if isinstance(expr, ast.Literal):
+            if expr.value is None or isinstance(expr.value, bool):
+                return
+            raise _NotTotal
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op in ("AND", "OR"):
+                self.total_boolean(expr.left, checks)
+                self.total_boolean(expr.right, checks)
+                return
+            if expr.op in _COMPARISONS:
+                left = self.operand_kind(expr.left, checks)
+                right = self.operand_kind(expr.right, checks)
+                self._pair_total(left, right, checks)
+                return
+            raise _NotTotal
+        if isinstance(expr, ast.UnaryOp) and expr.op == "NOT":
+            self.total_boolean(expr.operand, checks)
+            return
+        if isinstance(expr, ast.IsNullPredicate):
+            self.operand_kind(expr.operand, checks)
+            return
+        if isinstance(expr, ast.BetweenPredicate):
+            value = self.operand_kind(expr.operand, checks)
+            self._pair_total(value, self.operand_kind(expr.low, checks), checks)
+            self._pair_total(value, self.operand_kind(expr.high, checks), checks)
+            return
+        if isinstance(expr, ast.InPredicate):
+            if expr.values is None:
+                raise _NotTotal
+            value = self.operand_kind(expr.operand, checks)
+            for item in expr.values:
+                self._pair_total(value, self.operand_kind(item, checks), checks)
+            return
+        raise _NotTotal
+
+    def is_total(self, expr: ast.Expression, checks: list) -> bool:
+        probe: list = []
+        try:
+            self.total_boolean(expr, probe)
+        except _NotTotal:
+            return False
+        checks.extend(probe)
+        return True
+
+
+def split_conjuncts(expr: ast.Expression) -> list[ast.Expression]:
+    """Flatten a tree of ANDs into its conjuncts, in evaluation order."""
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+# -- tree plumbing -----------------------------------------------------------
+
+
+def _projection(plan: LogicalPlan):
+    """The Project/Aggregate node of the canonical pipeline chain."""
+    node = plan.root
+    while isinstance(node, (Limit, Sort, Distinct)):
+        node = node.child
+    return node
+
+
+# -- rules -------------------------------------------------------------------
+
+
+def constant_folding(plan: LogicalPlan) -> None:
+    """Evaluate literal-only subexpressions at plan time.
+
+    Folding happens in a *copy* of the expression tree — the original
+    AST is shared with the tree-walker path and prepared-statement
+    caches, so it is never mutated.  Subexpressions whose evaluation
+    raises (``1/0``) are left unfolded: the error must keep surfacing
+    per-row at runtime, exactly as the walker raises it.
+    """
+    folded_any = [False]
+
+    def fold(expr: ast.Expression) -> ast.Expression:
+        if isinstance(expr, ast.BinaryOp):
+            left, right = fold(expr.left), fold(expr.right)
+            if isinstance(left, ast.Literal) and isinstance(right, ast.Literal):
+                result = _fold_binary(expr.op, left.value, right.value)
+                if result is not _NO_FOLD:
+                    folded_any[0] = True
+                    return ast.Literal(result)
+            if left is not expr.left or right is not expr.right:
+                return ast.BinaryOp(expr.op, left, right)
+            return expr
+        if isinstance(expr, ast.UnaryOp):
+            operand = fold(expr.operand)
+            if isinstance(operand, ast.Literal):
+                result = _fold_unary(expr.op, operand.value)
+                if result is not _NO_FOLD:
+                    folded_any[0] = True
+                    return ast.Literal(result)
+            if operand is not expr.operand:
+                return ast.UnaryOp(expr.op, operand)
+            return expr
+        if isinstance(expr, ast.FunctionCall):
+            args = [fold(arg) for arg in expr.args]
+            if any(new is not old for new, old in zip(args, expr.args)):
+                return ast.FunctionCall(expr.name, args, expr.distinct, expr.star)
+            return expr
+        if isinstance(expr, ast.CastExpr):
+            operand = fold(expr.operand)
+            if operand is not expr.operand:
+                return ast.CastExpr(operand, expr.type_name, expr.type_args)
+            return expr
+        if isinstance(expr, ast.IsNullPredicate):
+            operand = fold(expr.operand)
+            if operand is not expr.operand:
+                return ast.IsNullPredicate(operand, expr.negated)
+            return expr
+        if isinstance(expr, ast.BetweenPredicate):
+            operand, low, high = fold(expr.operand), fold(expr.low), fold(expr.high)
+            if (operand, low, high) != (expr.operand, expr.low, expr.high):
+                return ast.BetweenPredicate(operand, low, high, expr.negated)
+            return expr
+        if isinstance(expr, ast.InPredicate) and expr.values is not None:
+            operand = fold(expr.operand)
+            values = [fold(item) for item in expr.values]
+            if operand is not expr.operand or any(
+                new is not old for new, old in zip(values, expr.values)
+            ):
+                return ast.InPredicate(operand, values=values, negated=expr.negated)
+            return expr
+        return expr
+
+    def fold_node(node: Any) -> None:
+        if isinstance(node, (Limit, Sort, Distinct)):
+            if isinstance(node, Sort):
+                node.order_by = [
+                    ast.OrderItem(fold(item.expression), item.descending)
+                    for item in node.order_by
+                ]
+            fold_node(node.child)
+            return
+        if isinstance(node, (Project, Aggregate)):
+            node.items = [
+                item
+                if isinstance(item.expression, ast.Star)
+                else ast.SelectItem(fold(item.expression), item.alias)
+                for item in node.items
+            ]
+            if isinstance(node, Aggregate):
+                node.group_by = [fold(expr) for expr in node.group_by]
+                if node.having is not None:
+                    node.having = fold(node.having)
+            fold_node(node.child)
+            return
+        if isinstance(node, Filter):
+            node.conjuncts = [fold(conjunct) for conjunct in node.conjuncts]
+            fold_node(node.child)
+            return
+        if isinstance(node, (CrossJoin, HashJoin)):
+            fold_node(node.left)
+            fold_node(node.right)
+
+    fold_node(plan.root)
+    if folded_any[0]:
+        plan.applied_rules.append("constant_folding")
+
+
+_NO_FOLD = object()
+
+
+def _fold_binary(op: str, left: Any, right: Any) -> Any:
+    try:
+        if op in _ARITHMETIC:
+            return _ARITHMETIC[op](left, right)
+        if op == "||":
+            return sql_concat(left, right)
+        if op in _COMPARISONS:
+            cmp = sql_compare(left, right)
+            if cmp is None:
+                return None
+            return {
+                "=": cmp == 0, "<>": cmp != 0, "<": cmp < 0,
+                "<=": cmp <= 0, ">": cmp > 0, ">=": cmp >= 0,
+            }[op]
+        if op in ("AND", "OR"):
+            for value in (left, right):
+                if not (value is None or isinstance(value, bool)):
+                    return _NO_FOLD
+            return tri_and(left, right) if op == "AND" else tri_or(left, right)
+    except Exception:
+        return _NO_FOLD
+    return _NO_FOLD
+
+
+def _fold_unary(op: str, value: Any) -> Any:
+    try:
+        if op == "-":
+            return sql_neg(value)
+        if op == "+":
+            return value
+        if op == "NOT":
+            if value is None or isinstance(value, bool):
+                return tri_not(value)
+    except Exception:
+        return _NO_FOLD
+    return _NO_FOLD
+
+
+def predicate_pushdown(plan: LogicalPlan) -> None:
+    """Split a total WHERE over a cross join into per-scan filters and
+    hash equi-joins.
+
+    Only fires when *every* conjunct is total: pushing conjunct B below
+    conjunct A means B is no longer evaluated on rows A rejected, which
+    is observable whenever B can raise.
+    """
+    if len(plan.scans) < 2:
+        return
+    projection = _projection(plan)
+    node = projection.child
+    if not isinstance(node, Filter) or not isinstance(node.child, CrossJoin):
+        return
+    analyzer = _Analyzer(plan)
+    conjuncts: list[ast.Expression] = []
+    for predicate in node.conjuncts:
+        conjuncts.extend(split_conjuncts(predicate))
+    checks: list[tuple[int, str]] = []
+    if not all(analyzer.is_total(conjunct, checks) for conjunct in conjuncts):
+        return
+
+    per_scan: dict[int, list[ast.Expression]] = {}
+    equi_pairs: list[tuple[int, int, ast.BinaryOp]] = []  # (scan, scan, a=b)
+    residual: list[ast.Expression] = []
+    for conjunct in conjuncts:
+        used = analyzer.scans_used(conjunct)
+        if used is None:
+            return  # unresolvable reference despite totality: be safe
+        if len(used) <= 1:
+            target = next(iter(used)) if used else 0
+            per_scan.setdefault(target, []).append(conjunct)
+            continue
+        if (
+            len(used) == 2
+            and isinstance(conjunct, ast.BinaryOp)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ast.ColumnRef)
+            and isinstance(conjunct.right, ast.ColumnRef)
+        ):
+            left_scan = analyzer.scan_of(analyzer.resolve(conjunct.left))
+            right_scan = analyzer.scan_of(analyzer.resolve(conjunct.right))
+            equi_pairs.append((left_scan, right_scan, conjunct))
+            continue
+        residual.append(conjunct)
+
+    pushed_any = bool(per_scan) or bool(equi_pairs)
+    if not pushed_any:
+        return
+
+    def source(position: int) -> Any:
+        scan = plan.scans[position]
+        filters = per_scan.get(position)
+        if filters:
+            return Filter(list(filters), scan, pushed=True)
+        return scan
+
+    joined = {0}
+    tree = source(0)
+    used_pairs: set[int] = set()
+    for position in range(1, len(plan.scans)):
+        join_pair = None
+        for pair_index, (a, b, conjunct) in enumerate(equi_pairs):
+            if pair_index in used_pairs:
+                continue
+            if (a in joined and b == position) or (b in joined and a == position):
+                join_pair = (pair_index, conjunct, a in joined)
+                break
+        right = source(position)
+        if join_pair is None:
+            tree = CrossJoin(tree, right)
+        else:
+            pair_index, conjunct, left_first = join_pair
+            used_pairs.add(pair_index)
+            left_key = conjunct.left if left_first else conjunct.right
+            right_key = conjunct.right if left_first else conjunct.left
+            key_kind = plan.kinds[analyzer.resolve(left_key)]
+            if key_kind == "b":
+                key_kind = "n"
+            tree = HashJoin(tree, right, left_key, right_key, key_kind)
+        joined.add(position)
+    # Equi pairs that were not consumed as join keys stay as residual
+    # predicates, in their original conjunct order relative to `residual`.
+    leftover = [
+        conjunct
+        for pair_index, (_, _, conjunct) in enumerate(equi_pairs)
+        if pair_index not in used_pairs
+    ]
+    post = leftover + residual
+    projection.child = Filter(post, tree) if post else tree
+    plan.param_checks.extend(checks)
+    plan.applied_rules.append("predicate_pushdown")
+
+
+def index_selection(plan: LogicalPlan) -> None:
+    """Replace a filtered scan with a unique-key point lookup when a
+    total conjunct set pins every column of a uniqueness constraint to a
+    row-independent value."""
+    analyzer = _Analyzer(plan)
+    applied = [False]
+
+    def try_scan(filter_node: Filter, scan: Scan) -> None:
+        conjuncts: list[ast.Expression] = []
+        for predicate in filter_node.conjuncts:
+            conjuncts.extend(split_conjuncts(predicate))
+        checks: list[tuple[int, str]] = []
+        if not all(analyzer.is_total(conjunct, checks) for conjunct in conjuncts):
+            return
+        position = plan.scans.index(scan)
+        pinned: dict[int, ast.Expression] = {}  # table-local index -> expr
+        for conjunct in conjuncts:
+            if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+                continue
+            for column, value in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                if not isinstance(column, ast.ColumnRef):
+                    continue
+                if not isinstance(value, (ast.Literal, ast.Parameter)):
+                    continue
+                index = analyzer.resolve(column)
+                if index is None or analyzer.scan_of(index) != position:
+                    continue
+                local = index - scan.offset
+                pinned.setdefault(local, value)
+        if not pinned:
+            return
+        for name, columns, indices in plan.unique_sets[position]:
+            if all(local in pinned for local in indices):
+                kinds = [plan.kinds[scan.offset + local] for local in indices]
+                if any(kind is None for kind in kinds):
+                    continue
+                filter_node.child = IndexLookup(
+                    scan=scan,
+                    index_name=name,
+                    key_columns=columns,
+                    key_indices=list(indices),
+                    key_exprs=[pinned[local] for local in indices],
+                    key_kinds=kinds,
+                )
+                plan.param_checks.extend(checks)
+                applied[0] = True
+                return
+
+    def walk(node: Any) -> None:
+        if isinstance(node, (Limit, Sort, Distinct, Project, Aggregate)):
+            walk(node.child)
+        elif isinstance(node, Filter):
+            if isinstance(node.child, Scan):
+                try_scan(node, node.child)
+            else:
+                walk(node.child)
+        elif isinstance(node, (CrossJoin, HashJoin)):
+            walk(node.left)
+            walk(node.right)
+
+    walk(plan.root)
+    if applied[0]:
+        plan.applied_rules.append("index_selection")
+
+
+def projection_pruning(plan: LogicalPlan) -> None:
+    """Annotate scans with the columns the statement actually uses.
+
+    Annotation-only: physical scans keep full-width rows so compiled
+    column offsets stay valid, but EXPLAIN shows what a columnar
+    executor could skip, and the rule keeps the rewrite registry honest
+    about which statements would benefit.
+    """
+    if not plan.scans or plan.incomplete:
+        return
+    analyzer = _Analyzer(plan)
+    needed: list[set[int]] = [set() for _ in plan.scans]
+    fully: list[bool] = [False] * len(plan.scans)
+
+    projection = _projection(plan)
+    for item in projection.items:
+        if isinstance(item.expression, ast.Star):
+            table = item.expression.table
+            for position, scan in enumerate(plan.scans):
+                if table is None or scan.label.lower() == table.lower():
+                    fully[position] = True
+
+    def note(expr: ast.Expression) -> None:
+        for node in ast.walk_expressions(expr):
+            if isinstance(node, ast.ColumnRef):
+                index = analyzer.resolve(node)
+                if index is None:
+                    # Unknown or ambiguous: every candidate column with a
+                    # matching name stays live (the reference will raise
+                    # at runtime, but pruning must not assume that).
+                    for candidate, binding in enumerate(plan.bindings):
+                        if binding.name.lower() == node.name.lower():
+                            position = analyzer.scan_of(candidate)
+                            needed[position].add(candidate - plan.scans[position].offset)
+                    continue
+                position = analyzer.scan_of(index)
+                needed[position].add(index - plan.scans[position].offset)
+
+    core, stmt = plan.core, plan.statement
+    for item in projection.items:
+        if not isinstance(item.expression, ast.Star):
+            note(item.expression)
+    if core.where is not None:
+        note(core.where)
+    for expr in core.group_by:
+        note(expr)
+    if core.having is not None:
+        note(core.having)
+    for order in stmt.order_by:
+        note(order.expression)
+
+    pruned_any = False
+    for position, scan in enumerate(plan.scans):
+        if fully[position] or scan.width == 0:
+            continue
+        if len(needed[position]) < scan.width:
+            offset = scan.offset
+            scan.needed = [
+                plan.bindings[offset + local].name
+                for local in sorted(needed[position])
+            ]
+            pruned_any = True
+    if pruned_any:
+        plan.applied_rules.append("projection_pruning")
+
+
+#: Registered rewrite rules, in application order.  The lint layer
+#: cross-checks that every rule here is exercised by at least one corpus
+#: or sqlgen script (dead-rewrite detection).
+REWRITE_RULES = {
+    "constant_folding": constant_folding,
+    "predicate_pushdown": predicate_pushdown,
+    "index_selection": index_selection,
+    "projection_pruning": projection_pruning,
+}
+
+
+#: Witness scripts for the registry above: replayed by the lint's
+#: dead-rewrite check (alongside the bug corpus and the generated TPC-C
+#: mix), which warns when a registered rule fires on none of them.
+#: That catches both a rule that regressed into never applying and a
+#: new rule registered without a live witness — add one here when
+#: adding a rule.
+PROBE_SCRIPTS = (
+    "CREATE TABLE probe_a (id INTEGER PRIMARY KEY, val INTEGER)",
+    "CREATE TABLE probe_b (id INTEGER PRIMARY KEY, ref INTEGER)",
+    "INSERT INTO probe_a (id, val) VALUES (1, 10)",
+    "INSERT INTO probe_b (id, ref) VALUES (1, 1)",
+    # constant_folding (and projection_pruning):
+    "SELECT val FROM probe_a WHERE val > 1 + 1",
+    # predicate_pushdown:
+    "SELECT probe_a.val FROM probe_a, probe_b "
+    "WHERE probe_a.id = probe_b.ref AND probe_a.val > 0",
+    # index_selection:
+    "SELECT val FROM probe_a WHERE id = 1",
+)
+
+
+def apply_rewrites(plan: LogicalPlan) -> LogicalPlan:
+    """Apply every registered rule to ``plan``, in order."""
+    for rule in REWRITE_RULES.values():
+        rule(plan)
+    return plan

@@ -10,6 +10,29 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Optional
 
+from repro.sqlengine.values import distinct_key
+
+
+class UniqueIndex:
+    """Hash map from a key-column tuple to the single row holding it.
+
+    Keys are tuples of :func:`distinct_key` components, so key equality
+    coincides with SQL comparison equality within a kind.  Rows with a
+    NULL key component are not indexed (SQL unique constraints admit
+    them).  The index *poisons* itself — and stays unusable until the
+    heap is rebuilt — when it meets a duplicate key or an unkeyable
+    value; readers fall back to scanning.
+    """
+
+    __slots__ = ("map", "kinds", "poisoned")
+
+    def __init__(self, width: int) -> None:
+        self.map: dict[tuple, list[Any]] = {}
+        #: Comparison-kind tags seen per key column, for planner probes
+        #: that must bail out on heterogeneous stored kinds.
+        self.kinds: list[set] = [set() for _ in range(width)]
+        self.poisoned = False
+
 
 class TableData:
     """Heap of rows for one table."""
@@ -22,10 +45,79 @@ class TableData:
         #: place (the UPDATE path) must call :meth:`touch`.  Caches
         #: keyed on (table, version) use it for invalidation.
         self.version = 0
+        #: Maintained unique indexes, keyed by their column-index tuple.
+        self._indexes: dict[tuple[int, ...], UniqueIndex] = {}
 
     def touch(self) -> None:
         """Record an in-place row mutation made outside these methods."""
         self.version += 1
+        # The mutation may have changed indexed values under us.
+        self._indexes.clear()
+
+    # -- unique indexes ------------------------------------------------------
+
+    def unique_index(self, indices: tuple[int, ...]) -> Optional[UniqueIndex]:
+        """The maintained unique index over these column positions,
+        building it on first use; None when the current rows cannot be
+        uniquely indexed (duplicates or unkeyable values)."""
+        index = self._indexes.get(indices)
+        if index is None:
+            index = UniqueIndex(len(indices))
+            for row in self._rows:
+                self._index_add(index, indices, row)
+            self._indexes[indices] = index
+        return None if index.poisoned else index
+
+    @staticmethod
+    def _index_key(indices: tuple[int, ...], row: list[Any]) -> Optional[tuple]:
+        parts = []
+        for position in indices:
+            value = row[position]
+            if value is None:
+                return None
+            parts.append(distinct_key(value))
+        return tuple(parts)
+
+    def _index_add(self, index: UniqueIndex, indices: tuple[int, ...], row) -> None:
+        if index.poisoned:
+            return
+        try:
+            key = self._index_key(indices, row)
+        except Exception:
+            index.poisoned = True
+            index.map.clear()
+            return
+        if key is None:
+            return
+        if key in index.map:
+            index.poisoned = True
+            index.map.clear()
+            return
+        index.map[key] = row
+        for slot, part in zip(index.kinds, key):
+            slot.add(part[0])
+
+    def _index_remove(self, index: UniqueIndex, indices: tuple[int, ...], row) -> None:
+        if index.poisoned:
+            return
+        try:
+            key = self._index_key(indices, row)
+        except Exception:  # pragma: no cover - add() would have poisoned
+            index.poisoned = True
+            index.map.clear()
+            return
+        if key is None:
+            return
+        if index.map.get(key) is row:
+            del index.map[key]
+
+    def _indexes_add(self, row: list[Any]) -> None:
+        for indices, index in self._indexes.items():
+            self._index_add(index, indices, row)
+
+    def _indexes_remove(self, row: list[Any]) -> None:
+        for indices, index in self._indexes.items():
+            self._index_remove(index, indices, row)
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -54,7 +146,26 @@ class TableData:
             )
         self._rows.append(row)
         self.version += 1
+        if self._indexes:
+            self._indexes_add(row)
         return row
+
+    def update_row(self, row: list[Any], changes: dict[int, Any]) -> None:
+        """Patch ``row`` (a live member of this heap) in place, keeping
+        maintained indexes consistent.  ``changes`` maps column position
+        to new value; passing the previous values back undoes the call."""
+        affected = [
+            (indices, index)
+            for indices, index in self._indexes.items()
+            if any(position in changes for position in indices)
+        ]
+        for indices, index in affected:
+            self._index_remove(index, indices, row)
+        for position, value in changes.items():
+            row[position] = value
+        for indices, index in affected:
+            self._index_add(index, indices, row)
+        self.version += 1
 
     def delete_rows(self, predicate: Callable[[list[Any]], bool]) -> list[tuple[int, list[Any]]]:
         """Delete matching rows; return (position, row) pairs for undo."""
@@ -67,6 +178,9 @@ class TableData:
                 kept.append(row)
         self._rows = kept
         self.version += 1
+        if self._indexes:
+            for _, row in removed:
+                self._indexes_remove(row)
         return removed
 
     def remove_row(self, row: list[Any]) -> None:
@@ -75,6 +189,8 @@ class TableData:
             if candidate is row:
                 del self._rows[index]
                 self.version += 1
+                if self._indexes:
+                    self._indexes_remove(row)
                 return
         raise ValueError("row not present")  # pragma: no cover - undo invariant
 
@@ -82,6 +198,8 @@ class TableData:
         """Reinsert rows deleted by :meth:`delete_rows` at their positions."""
         for position, row in sorted(removed, key=lambda item: item[0]):
             self._rows.insert(min(position, len(self._rows)), row)
+            if self._indexes:
+                self._indexes_add(row)
         self.version += 1
 
     def replace_rows(self, rows: Iterable[Iterable[Any]]) -> None:
@@ -100,6 +218,7 @@ class TableData:
                 )
         self._rows = loaded
         self.version += 1
+        self._indexes.clear()
 
     def add_column(self, default_value: Any) -> None:
         """Widen every row for ALTER TABLE ADD COLUMN."""
@@ -107,11 +226,13 @@ class TableData:
         for row in self._rows:
             row.append(default_value)
         self.version += 1
+        self._indexes.clear()
 
     def clear(self) -> list[list[Any]]:
         """Remove all rows, returning them for undo."""
         rows, self._rows = self._rows, []
         self.version += 1
+        self._indexes.clear()
         return rows
 
 

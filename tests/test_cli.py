@@ -70,10 +70,50 @@ class TestCli:
 
     def test_slice_unknown_bug(self, capsys):
         assert main(["slice", "XX-0"]) == 2
-        assert "unknown bug id" in capsys.readouterr().out
+        err = capsys.readouterr().err
+        assert "usage: python -m repro slice BUG_ID" in err
+        assert "unknown bug id" in err
 
     def test_slice_requires_bug_id(self, capsys):
         assert main(["slice"]) == 2
+        assert "usage: python -m repro slice BUG_ID" in capsys.readouterr().err
+
+    def test_lint_rejects_unknown_flag(self, capsys):
+        assert main(["lint", "--jsn"]) == 2
+        err = capsys.readouterr().err
+        assert "usage: python -m repro lint [--json]" in err
+        assert "--jsn" in err
+
+    def test_study_rejects_stray_arguments(self, capsys):
+        assert main(["study", "extra"]) == 2
+        assert "usage: python -m repro study" in capsys.readouterr().err
+
+    def test_conflicts_rejects_non_integer_count(self, capsys):
+        assert main(["conflicts", "two"]) == 2
+        assert "usage: python -m repro conflicts [N]" in capsys.readouterr().err
+
+    def test_report_unwritable_path_exits_2(self, capsys):
+        assert main(["export", "/nonexistent-dir/out.json"]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_explain_renders_plan(self, capsys):
+        assert main(
+            ["explain", "SELECT w_name FROM warehouse WHERE w_id = 7"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "plan:" in output
+        assert "IndexLookup warehouse" in output
+        assert "rewrites:" in output
+
+    def test_explain_requires_sql(self, capsys):
+        assert main(["explain"]) == 2
+        assert "usage: python -m repro explain" in capsys.readouterr().err
+
+    def test_explain_rejects_unparseable_sql(self, capsys):
+        assert main(["explain", "SELEKT 1"]) == 2
+        err = capsys.readouterr().err
+        assert "usage: python -m repro explain" in err
+        assert "cannot explain" in err
 
     def test_lint_json_is_machine_readable(self, capsys):
         # The shipped corpus has no errors (warnings only), so --json

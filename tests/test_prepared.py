@@ -2,7 +2,7 @@
 
 Covers the redesigned execution API end to end: engine-level prepared
 handles, parameter substitution, the ServerConfig construction surface
-(with its deprecated positional shim), middleware prepared execution
+(keyword-only settings), middleware prepared execution
 and batching semantics, the stale-verdict regression after DDL, and a
 property test that prepared execution is observationally identical to
 literal execution on every product under corpus fault injection.
@@ -174,13 +174,10 @@ class TestServerConfigApi:
         )
         assert server.config.adjudication == "compare"
 
-    def test_positional_arguments_are_deprecated_but_work(self):
-        with pytest.warns(DeprecationWarning):
-            server = DiverseServer(
-                [make_server("IB"), make_server("OR")], "compare", False
-            )
-        assert server.adjudication == "compare"
-        assert server.config.normalize is False
+    def test_positional_settings_are_rejected(self):
+        # The DeprecationWarning shim is gone: settings are keyword-only.
+        with pytest.raises(TypeError):
+            DiverseServer([make_server("IB"), make_server("OR")], "compare", False)
 
     def test_config_and_kwargs_conflict(self):
         with pytest.raises(MiddlewareError):
