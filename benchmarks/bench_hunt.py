@@ -1,0 +1,170 @@
+"""Experiment H1 — what the static TLP oracle buys over voting.
+
+Three hunt campaigns (:func:`repro.hunt.run_hunt`) over NULL-rich
+generated predicates:
+
+* **Pristine four-version** — all oracles (static TLP partition,
+  PQS-style pivot containment, cross-product vote with BENIGN_DIALECT
+  triage) over the four pristine products.  The acceptance bar is
+  *zero* banked findings and zero execution errors: the TLP triples
+  really partition, the pivots really come back, and the dialect triage
+  absorbs every benign divergence without alarming.
+* **Seeded fold bug, single replica** — an InterBase replica alone
+  carrying :class:`~repro.faults.PredicateFoldBugEffect` (``NOT
+  UNKNOWN`` evaluates TRUE).  With one product there is nothing to vote
+  against, so cross-replica comparison is structurally blind; the
+  intra-product TLP union must over-count and convict.
+* **Seeded partition-drop bug, single replica** — the same
+  configuration with :class:`~repro.faults.PartitionDropBugEffect`
+  (composite ``IS NULL`` answers FALSE): the IS-NULL partition drops
+  its rows and the TLP union must under-count, with a direction
+  distinct from the fold bug's (the dedup key separates them).
+
+Also measures campaign throughput (rounds/s) and the dedup ratio —
+how many raw oracle hits fold into each banked finding.
+
+Writes ``BENCH_hunt.json`` next to the repository root.
+
+Run standalone for CI smoke coverage::
+
+    PYTHONPATH=src python benchmarks/bench_hunt.py --smoke
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.faults import (  # noqa: E402
+    AlwaysTrigger,
+    FaultSpec,
+    PartitionDropBugEffect,
+    PredicateFoldBugEffect,
+)
+from repro.hunt import run_hunt  # noqa: E402
+
+SEED = 7
+
+
+def _spec(fault_id, effect):
+    return FaultSpec(
+        fault_id=fault_id,
+        description=fault_id,
+        trigger=AlwaysTrigger(),
+        effect=effect,
+    )
+
+
+def seeded_campaign(count, effect_cls, fault_id):
+    """One campaign on a single IB replica carrying one predicate bug."""
+    return run_hunt(
+        count,
+        seed=SEED,
+        products=["IB"],
+        faults={"IB": [_spec(fault_id, effect_cls())]},
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast run with assertions (CI gate)")
+    parser.add_argument("--out", default=str(ROOT / "BENCH_hunt.json"),
+                        help="where to write the JSON results")
+    args = parser.parse_args(argv)
+    count = 40 if args.smoke else 400
+
+    start = time.perf_counter()
+    pristine = run_hunt(count, seed=SEED)
+    elapsed = time.perf_counter() - start
+    rate = count / elapsed if elapsed else 0.0
+
+    print("=== H1a: pristine four-version campaign ===")
+    print(f"{count} rounds in {elapsed:.2f}s ({rate:.0f} rounds/s): "
+          f"{pristine.tlp_checks} TLP, {pristine.pivot_checks} pivot, "
+          f"{pristine.vote_checks} vote check(s); "
+          f"{pristine.benign_filtered} benign divergence(s) filtered, "
+          f"{pristine.errors} error(s), "
+          f"{len(pristine.findings)} finding(s)")
+
+    fold = seeded_campaign(count, PredicateFoldBugEffect, "HUNT-FOLD")
+    drop = seeded_campaign(count, PartitionDropBugEffect, "HUNT-DROP")
+
+    def tlp_directions(report):
+        return {
+            finding.direction
+            for finding in report.findings
+            if finding.oracle == "tlp"
+        }
+
+    fold_hits = sum(
+        finding.duplicates + 1
+        for finding in fold.findings
+        if finding.oracle == "tlp"
+    )
+    drop_hits = sum(
+        finding.duplicates + 1
+        for finding in drop.findings
+        if finding.oracle == "tlp"
+    )
+    print("\n=== H1b: seeded predicate bugs, single replica (voting blind) ===")
+    print(f"fold bug (NOT UNKNOWN -> TRUE): {fold_hits} raw TLP hit(s) -> "
+          f"{len(fold.findings)} banked finding(s) {sorted(tlp_directions(fold))}")
+    print(f"partition-drop bug (composite IS NULL -> FALSE): {drop_hits} raw "
+          f"hit(s) -> {len(drop.findings)} banked finding(s) "
+          f"{sorted(tlp_directions(drop))}")
+
+    payload = {
+        "experiment": "generative predicate hunt (H1)",
+        "mode": "smoke" if args.smoke else "full",
+        "rounds": count,
+        "rounds_per_s": round(rate, 1),
+        "pristine_tlp_checks": pristine.tlp_checks,
+        "pristine_pivot_checks": pristine.pivot_checks,
+        "pristine_vote_checks": pristine.vote_checks,
+        "pristine_benign_filtered": pristine.benign_filtered,
+        "pristine_errors": pristine.errors,
+        "pristine_findings": len(pristine.findings),
+        "fold_raw_hits": fold_hits,
+        "fold_findings": [f.rekey() for f in fold.findings],
+        "drop_raw_hits": drop_hits,
+        "drop_findings": [f.rekey() for f in drop.findings],
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    assert pristine.findings == [], (
+        f"false alarm(s) on pristine products: "
+        f"{[f.rekey() for f in pristine.findings]}"
+    )
+    assert pristine.errors == 0, (
+        f"{pristine.errors} execution error(s) in the pristine campaign"
+    )
+    assert pristine.tlp_checks > 0 and pristine.pivot_checks > 0
+    assert fold.vote_checks == 0 and drop.vote_checks == 0, (
+        "single-replica campaigns must have nothing to vote against"
+    )
+    assert ("tlp", "IB", "partition-union-over-counts") in {
+        f.rekey() for f in fold.findings
+    }, "TLP oracle missed the seeded NOT-UNKNOWN fold bug"
+    assert ("tlp", "IB", "partition-union-under-counts") in {
+        f.rekey() for f in drop.findings
+    }, "TLP oracle missed the seeded composite-IS-NULL bug"
+    for report in (fold, drop):
+        for finding in report.findings:
+            assert "decoy" not in finding.script, (
+                "minimization failed to drop decoy-table traffic"
+            )
+    if args.smoke:
+        print("smoke assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,20 @@ Commands
     one statement against the TPC-C schema (rewrites applied, runtime
     parameter checks), or the note naming the executor that runs it
     when no plan applies.
+``tlp "SQL"``
+    Show the ternary-logic abstraction of one SELECT against the hunt
+    schema: the WHERE clause's abstract truth set, dead-predicate
+    findings, and the TLP partition triple (base query plus the
+    ``p`` / ``NOT p`` / ``p IS NULL`` partitions) with its certificate
+    — or the blockers that make the statement unpartitionable.
+``hunt [N]``
+    Run a generative bug-hunt campaign of N rounds (default 200):
+    NULL-rich generated predicates checked per product by the static
+    TLP partition oracle and PQS-style pivot containment, with
+    cross-product votes triaged through the dialect divergence
+    analyzer (BENIGN_DIALECT divergences filtered).  Prints the
+    campaign counters and the deduplicated finding bank with minimized
+    repro scripts.  Exit 1 when any finding is banked.
 
 Every command validates its arguments up front: bad arguments print a
 usage line to stderr and exit 2 (never a traceback).
@@ -275,6 +289,76 @@ def cmd_explain(sql: str) -> int:
     return 0
 
 
+def cmd_tlp(sql: str) -> int:
+    from repro.analysis.predicates import _tlp_blockers, summarize_statement
+    from repro.analysis.schema import ScriptSchema
+    from repro.errors import SqlError
+    from repro.sqlengine.parser import parse_statement
+    from repro.sqlengine.sqlgen import DECOY_TABLE, HUNT_TABLE
+
+    schema = ScriptSchema()
+    for ddl in (HUNT_TABLE, DECOY_TABLE):
+        schema.observe(parse_statement(ddl))
+    try:
+        stmt = parse_statement(sql)
+        summary = summarize_statement(stmt, schema)
+    except SqlError as error:
+        print(
+            f'usage: python -m repro tlp "SQL"\n'
+            f"  cannot abstract {sql!r}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"statement kind: {summary.kind}")
+    if summary.where_truth is not None:
+        print(f"WHERE truth: {summary.where_truth.describe()}")
+    for finding in summary.dead:
+        print(f"dead predicate at {finding.site}: {finding.detail}")
+    if summary.tlp is None:
+        blockers = _tlp_blockers(stmt)
+        reasons = "; ".join(blockers) if blockers else "not a plain SELECT"
+        print(f"no TLP partition: {reasons}")
+        return 0
+    print(f"certificate: {summary.tlp.certificate.describe()}")
+    print(f"base:        {summary.tlp.base}")
+    for label, partition in zip(
+        ("p", "NOT p", "p IS NULL"), summary.tlp.partitions
+    ):
+        print(f"{label:<12} {partition}")
+    return 0
+
+
+def cmd_hunt(count: int) -> int:
+    from repro.hunt import run_hunt
+
+    report = run_hunt(count)
+    print(
+        f"hunt: {report.statements} statement(s) over "
+        f"{'/'.join(report.products)}, {report.tlp_checks} TLP check(s), "
+        f"{report.pivot_checks} pivot check(s), {report.vote_checks} "
+        f"vote(s), {report.benign_filtered} benign divergence(s) filtered, "
+        f"{report.skipped_unportable} unportable skip(s), "
+        f"{report.errors} error(s)"
+    )
+    if not report.findings:
+        print("no findings banked")
+        return 0
+    print(
+        f"{len(report.findings)} finding(s) banked "
+        f"({report.duplicates_folded} duplicate(s) folded):"
+    )
+    for finding in report.findings:
+        print(
+            f"\n[{finding.oracle}] {finding.product} {finding.direction} "
+            f"(+{finding.duplicates} duplicate(s))"
+        )
+        print(f"  {finding.detail}")
+        print("  minimized repro:")
+        for line in finding.script.splitlines():
+            print(f"    {line}")
+    return 1
+
+
 def _parse_count(argv: list[str], default: int, command: str) -> int | None:
     """Parse the optional transaction-count argument.
 
@@ -355,6 +439,16 @@ def main(argv: list[str]) -> int:
             print('usage: python -m repro explain "SQL"', file=sys.stderr)
             return 2
         return cmd_explain(" ".join(argv[1:]))
+    if command == "tlp":
+        if len(argv) < 2:
+            print('usage: python -m repro tlp "SQL"', file=sys.stderr)
+            return 2
+        return cmd_tlp(" ".join(argv[1:]))
+    if command == "hunt":
+        count = _parse_count(argv, 200, command)
+        if count is None:
+            return 2
+        return cmd_hunt(count)
     print(__doc__)
     return 2
 

@@ -30,6 +30,11 @@ Three *script-level* layers compose the per-statement facts:
   products legitimately disagree on this statement?  ``AGREE_PROVEN`` /
   ``BENIGN_DIALECT`` / ``UNKNOWN`` verdicts consumed by the comparator
   (benign divergence is not suspicion) and the Table-4 pipeline.
+* **Predicate abstraction** (:mod:`repro.analysis.predicates`) — an
+  abstract interpreter over expression trees with three-valued truth,
+  nullability, and interval lattices; powers the static TLP partition
+  oracle (:func:`tlp_partition`), rewrite-soundness certificates
+  (:func:`certify_rewrites`), and dead-predicate lint findings.
 * **Transaction-conflict analysis** (:mod:`repro.analysis.conflicts`) —
   pairwise statement commutativity over def/use cells
   (:func:`classify_statements`), whole-interleaving serializability
@@ -78,11 +83,21 @@ from repro.analysis.divergence import (
     analyze_divergence,
 )
 from repro.analysis.lint import LintFinding, lint_corpus, run_lint
-from repro.analysis.portability import (
-    PortabilityVerdict,
-    predicted_hosts,
-    script_portability,
-    statement_portability,
+from repro.analysis.predicates import (
+    AbstractTruth,
+    AbstractValue,
+    DeadPredicateFinding,
+    Interval,
+    PredicateEnv,
+    RewriteCertificate,
+    StatementAbstraction,
+    TlpCertificate,
+    TlpTriple,
+    abstract_truth,
+    abstract_value,
+    certify_rewrites,
+    summarize_statement,
+    tlp_partition,
 )
 from repro.analysis.reachability import (
     StaticContext,
@@ -97,44 +112,60 @@ from repro.analysis.verdicts import (
     WRITE_KINDS,
     AccessVerdict,
     OrderVerdict,
+    PortabilityVerdict,
     StatementVerdict,
     analyze_statement,
+    predicted_hosts,
+    script_portability,
+    statement_portability,
 )
 
 __all__ = [
+    "AbstractTruth",
+    "AbstractValue",
     "AccessVerdict",
     "AnomalyKind",
     "AnomalyWitness",
     "ConcurrencyRepro",
     "ConflictKind",
+    "DeadPredicateFinding",
     "DefUse",
     "DivergenceAtom",
     "DivergenceKind",
     "DivergenceVerdict",
     "InterleavingReport",
+    "Interval",
     "LintFinding",
     "PairConflict",
     "OrderVerdict",
     "PROFILES",
     "PortabilityVerdict",
+    "PredicateEnv",
+    "RewriteCertificate",
     "ScriptGraph",
     "ScriptSchema",
     "SemanticProfile",
     "SerializabilityVerdict",
     "SliceResult",
+    "StatementAbstraction",
     "StatementDivergence",
     "StatementNode",
     "StatementVerdict",
     "StaticContext",
     "TableInfo",
+    "TlpCertificate",
+    "TlpTriple",
     "VOLATILE_FUNCTIONS",
     "VerdictStatus",
     "ViewInfo",
     "WRITE_KINDS",
+    "abstract_truth",
+    "abstract_value",
     "analyze_divergence",
     "analyze_sessions",
     "analyze_statement",
     "build_graph",
+    "certify_rewrites",
     "classify_pair",
     "classify_statements",
     "commutes_with_footprint",
@@ -151,5 +182,7 @@ __all__ = [
     "session_transactions",
     "statement_def_use",
     "statement_portability",
+    "summarize_statement",
+    "tlp_partition",
     "unreachable_faults",
 ]

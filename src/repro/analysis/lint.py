@@ -6,7 +6,7 @@ the script-level analyses can silently drift apart:
 
 ``portability-drift``
     The static per-server portability prediction
-    (:func:`repro.analysis.portability.predicted_hosts`) must equal the
+    (:func:`repro.analysis.verdicts.predicted_hosts`) must equal the
     report's ground truth ``runnable_on | translation_pending``.  A
     mismatch means a script's features and its declared gate features
     disagree.
@@ -71,15 +71,27 @@ gated by two checks:
     the admission layer could issue a commuting certificate for an
     interleaving the bank proves is anomalous.
 
-Two *warning*-severity dead-code checks ride on the def-use graph:
-``dead-statement`` (a write whose definitions no SELECT observes and
-the trigger slice does not anchor) and ``dead-column`` (a created
-column no statement ever reads).  Warnings are reported but do not
-fail the lint; only ``error`` findings set a non-zero exit code.
+The plan rewrite registry is gated by one more error check:
 
+``uncertified-rewrite``
+    Every rule in :data:`repro.sqlengine.plan.REWRITE_RULES` must carry
+    a machine-checked soundness certificate
+    (:func:`repro.analysis.predicates.certify_rewrites`).  A rule the
+    symbolic checker cannot certify is a transformation nothing proves
+    answer-preserving.
+
+Three *warning*-severity dead-code checks ride on the static analyses:
+``dead-statement`` (a write whose definitions no SELECT observes and
+the trigger slice does not anchor), ``dead-column`` (a created column
+no statement ever reads), and ``dead-predicate`` (a WHERE clause the
+ternary-logic abstraction proves always/never holds, or a CASE arm no
+row can reach).  Warnings are reported but do not fail the lint; only
+``error`` findings set a non-zero exit code.
+
+Findings are de-duplicated per (check, subject, statement) site.
 ``python -m repro lint --json`` emits one JSON object per finding
 (``code`` / ``severity`` / ``statement_index`` / ``script_id`` /
-``detail``) for machine consumption in CI annotations.
+``detail``), sorted stably for CI diffing.
 """
 
 from __future__ import annotations
@@ -90,7 +102,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.analysis.dataflow import minimize_report
 from repro.analysis.divergence import DivergenceKind, analyze_divergence
-from repro.analysis.portability import predicted_hosts
+from repro.analysis.verdicts import predicted_hosts
 from repro.analysis.reachability import unreachable_faults
 from repro.analysis.schema import ScriptSchema
 from repro.dialects.features import SERVER_KEYS, dialect
@@ -148,9 +160,28 @@ def lint_corpus(corpus: "Corpus") -> list[LintFinding]:
     findings.extend(_check_agree_proven(corpus))
     findings.extend(_check_storage_bank())
     findings.extend(_check_concurrency_bank())
+    findings.extend(_check_rewrite_certificates())
     findings.extend(_check_dead_code(corpus))
     findings.extend(_check_dead_rewrites(corpus))
-    return findings
+    findings.extend(_check_dead_predicates(corpus))
+    return _dedupe(findings)
+
+
+def _dedupe(findings: list[LintFinding]) -> list[LintFinding]:
+    """Collapse repeats of the same (check, subject, statement) site.
+
+    Several checks walk overlapping structures (e.g. the same CASE
+    expression reached through two expression roots); the first finding
+    carries all the signal, the rest are noise in CI annotations."""
+    seen: set[tuple[str, str, Optional[int]]] = set()
+    unique: list[LintFinding] = []
+    for finding in findings:
+        key = (finding.check, finding.subject, finding.statement_index)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(finding)
+    return unique
 
 
 def _check_portability_drift(corpus: "Corpus") -> list[LintFinding]:
@@ -408,6 +439,53 @@ def _check_concurrency_bank() -> list[LintFinding]:
     return findings
 
 
+def _check_rewrite_certificates() -> list[LintFinding]:
+    """Every registered plan rewrite rule must carry a machine-checked
+    soundness certificate (:func:`repro.analysis.predicates.certify_rewrites`).
+    An uncertifiable rule — no certifier registered, or an obligation
+    that fails its enumeration/structural law — is an *error*: the
+    planner would be applying a transformation nothing proves
+    answer-preserving."""
+    from repro.analysis.predicates import certify_rewrites
+
+    return [
+        LintFinding(
+            check="uncertified-rewrite",
+            subject=certificate.rule,
+            detail=f"rewrite soundness not certified: {certificate.detail}",
+        )
+        for certificate in certify_rewrites().values()
+        if not certificate.certified
+    ]
+
+
+def _check_dead_predicates(corpus: "Corpus") -> list[LintFinding]:
+    """Warning-severity dead-predicate findings from the ternary-logic
+    abstraction: WHERE clauses that can never (or always) hold and CASE
+    arms no row can reach (:func:`repro.analysis.predicates.summarize_statement`)."""
+    from repro.analysis.predicates import summarize_statement
+    from repro.study.runner import split_statements
+
+    findings: list[LintFinding] = []
+    for report in corpus:
+        schema = ScriptSchema()
+        for index, sql in enumerate(split_statements(report.script)):
+            stmt = parse_statement(sql)
+            summary = summarize_statement(stmt, schema)
+            schema.observe(stmt)
+            for dead in summary.dead:
+                findings.append(
+                    LintFinding(
+                        check="dead-predicate",
+                        subject=report.bug_id,
+                        severity="warning",
+                        statement_index=index,
+                        detail=f"{dead.site}: {dead.detail}",
+                    )
+                )
+    return findings
+
+
 def _check_dead_code(corpus: "Corpus") -> list[LintFinding]:
     """Warning-severity dead-code findings from each script's def-use
     graph.  Statements the trigger slice anchors are excluded — being
@@ -532,6 +610,18 @@ def run_lint(
     Only ``error``-severity findings fail the lint; warnings are
     reported (and serialized under ``--json``) but exit 0."""
     findings = lint_corpus(corpus)
+    if as_json:
+        # CI diffing wants a stable order regardless of which check
+        # produced a finding first.
+        findings = sorted(
+            findings,
+            key=lambda finding: (
+                finding.check,
+                finding.subject,
+                finding.statement_index if finding.statement_index is not None else -1,
+                finding.detail,
+            ),
+        )
     errors = [finding for finding in findings if finding.severity == "error"]
     warnings = len(findings) - len(errors)
     for finding in findings:
@@ -545,6 +635,7 @@ def run_lint(
             f"lint: corpus clean, {warnings} warning(s) (portability "
             "predictions, translator agreement, fault reachability, slice "
             "reproduction, proven agreement, storage-fault bank, "
-            "concurrency-fault bank, dead-code and dead-rewrite warnings)"
+            "concurrency-fault bank, rewrite certificates, dead-code, "
+            "dead-rewrite and dead-predicate warnings)"
         )
     return 0

@@ -1,4 +1,4 @@
-"""Per-statement semantic verdicts: order determinism and access sets.
+"""Per-statement semantic verdicts: order, access, and portability.
 
 The middleware can only adjudicate what it can compare, and it can only
 recover what it can safely re-execute.  Both questions are decidable
@@ -37,6 +37,21 @@ Access (:class:`AccessVerdict`)
       0 affected rows and would falsely diverge from the vote.  An
       UPDATE is reexecution-safe when its assigned columns are disjoint
       from every column its WHERE clause and right-hand sides read.
+
+Portability (:class:`PortabilityVerdict`)
+    The study's Table 1 splits each (bug script, server) cell into
+    can-run / cannot-run / further-work before any execution happens —
+    the authors decided portability by *reading* the script.
+    :func:`script_portability` does the same mechanically: a script's
+    feature traits against each dialect's gated-feature matrix yield a
+    per-server prediction, with no error-message parsing and no
+    execution.  The dynamic path
+    (:func:`repro.dialects.translator.translate_script`) must agree
+    with the static prediction: both derive from
+    ``DialectDescriptor.missing_tags``, so any disagreement means the
+    translator's token rewrite and the trait extraction have drifted
+    apart.  ``python -m repro lint`` enforces that agreement
+    corpus-wide.
 """
 
 from __future__ import annotations
@@ -46,9 +61,11 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.analysis.schema import ScriptSchema
+from repro.dialects.features import SERVER_KEYS, dialect
 from repro.sqlengine import ast_nodes as ast
-from repro.sqlengine.analysis import StatementTraits, extract_traits
+from repro.sqlengine.analysis import StatementTraits, extract_traits, script_traits
 from repro.sqlengine.functions import AGGREGATE_NAMES
+from repro.sqlengine.parser import parse_script
 from repro.sqlengine.sqlgen import render_expression
 
 #: Functions whose value differs between correct executions.  Scripts
@@ -418,3 +435,38 @@ def _column_names(expr: ast.Expression) -> set[str]:
         if isinstance(node, ast.ColumnRef):
             names.add(node.name.lower())
     return names
+
+
+# -- dialect portability ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PortabilityVerdict:
+    """Predicted outcome of hosting a script on one server."""
+
+    server: str
+    can_run: bool
+    #: Gated feature tags the server lacks (empty when ``can_run``).
+    missing: tuple[str, ...] = ()
+
+
+def statement_portability(traits: StatementTraits, server: str) -> PortabilityVerdict:
+    """Predict whether one statement's traits fit ``server``'s dialect."""
+    missing = dialect(server).missing_tags(traits)
+    return PortabilityVerdict(server=server, can_run=not missing, missing=tuple(missing))
+
+
+def script_portability(sql: str) -> dict[str, PortabilityVerdict]:
+    """Predict each server's verdict for a whole script from traits
+    alone (no execution, no translation attempt)."""
+    traits = script_traits(parse_script(sql))
+    return {server: statement_portability(traits, server) for server in SERVER_KEYS}
+
+
+def predicted_hosts(sql: str) -> frozenset[str]:
+    """Servers predicted to host the script (natively or translated)."""
+    return frozenset(
+        server
+        for server, verdict in script_portability(sql).items()
+        if verdict.can_run
+    )

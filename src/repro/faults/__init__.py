@@ -36,10 +36,12 @@ from repro.faults.effects import (
     LostUpdateEffect,
     NetDelivery,
     NetworkEffect,
+    PartitionDropBugEffect,
     PartitionEffect,
     PerformanceEffect,
     PhantomRowEffect,
     PlanStageBugEffect,
+    PredicateFoldBugEffect,
     ReorderFrameEffect,
     RowDropEffect,
     RowDuplicateEffect,
@@ -84,10 +86,12 @@ __all__ = [
     "LostUpdateEffect",
     "NetDelivery",
     "NetworkEffect",
+    "PartitionDropBugEffect",
     "PartitionEffect",
     "PerformanceEffect",
     "PhantomRowEffect",
     "PlanStageBugEffect",
+    "PredicateFoldBugEffect",
     "RecoveryTrigger",
     "RelationTrigger",
     "ReorderFrameEffect",

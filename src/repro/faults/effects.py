@@ -728,3 +728,38 @@ class PlanStageBugEffect(BehaviourFlagEffect):
 
     def __init__(self) -> None:
         super().__init__("plan_filter_truncates")
+
+
+class PredicateFoldBugEffect(BehaviourFlagEffect):
+    """A three-valued-logic bug: ``NOT UNKNOWN`` evaluates to TRUE.
+
+    Sets the ``fold_not_unknown_true`` flag, consulted by both the
+    tree-walker and the compiled NOT closures — so *every* executor on
+    the replica agrees on the wrong answer and neither cross-replica
+    voting (single replica) nor the dual-plan oracle sees anything.
+    The static TLP oracle does: rows where ``p`` is UNKNOWN land in
+    both the ``NOT p`` and the ``p IS NULL`` partition, so the
+    partition union over-counts the base result.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("fold_not_unknown_true")
+
+
+class PartitionDropBugEffect(BehaviourFlagEffect):
+    """A NULL-test bug: ``IS NULL`` over a *composite* expression
+    (anything but a bare column, literal, or parameter) answers FALSE
+    even when the value is NULL.
+
+    Sets the ``isnull_composite_false`` flag, consulted by both
+    executors.  Bare-column NULL tests — the overwhelmingly common form
+    in the corpus — stay correct, so the fault hides from ordinary
+    workloads and from any oracle that never writes a composite NULL
+    test.  The TLP oracle always does: its third partition is
+    ``(p) IS NULL``, which under this fault returns no rows, so the
+    partition union under-counts the base result wherever ``p`` goes
+    UNKNOWN.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("isnull_composite_false")

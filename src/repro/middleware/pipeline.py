@@ -24,6 +24,10 @@ Cache keys and invalidation:
 * **divergence** / **def_use** — keyed on ``(text, generation)`` for
   the same reason: both read declared column types/nullability and the
   view catalog from the schema.
+* **abstraction** — keyed on ``(text, generation)``.  The ternary-logic
+  predicate abstraction seeds its intervals and nullability from the
+  schema's declared column types and constraints, so DDL invalidates
+  it exactly like the verdict layers.
 
 The generation mirrors the engines' ``Catalog.generation`` counter:
 the middleware bumps it once per DDL statement it commits, which is
@@ -42,6 +46,7 @@ from typing import Union
 
 from repro.analysis.dataflow import DefUse, statement_def_use
 from repro.analysis.divergence import StatementDivergence, analyze_divergence
+from repro.analysis.predicates import StatementAbstraction, summarize_statement
 from repro.analysis.schema import ScriptSchema
 from repro.analysis.verdicts import StatementVerdict, analyze_statement
 from repro.dialects.features import DialectDescriptor
@@ -68,6 +73,8 @@ class PipelineStats:
     dataflow_misses: int = 0
     plan_hits: int = 0
     plan_misses: int = 0
+    abstraction_hits: int = 0
+    abstraction_misses: int = 0
     #: Schema-generation bumps (each one invalidates the keyed layers).
     invalidations: int = 0
 
@@ -80,6 +87,7 @@ class PipelineStats:
             + self.divergence_hits
             + self.dataflow_hits
             + self.plan_hits
+            + self.abstraction_hits
         )
 
     @property
@@ -91,6 +99,7 @@ class PipelineStats:
             + self.divergence_misses
             + self.dataflow_misses
             + self.plan_misses
+            + self.abstraction_misses
         )
 
 
@@ -117,6 +126,9 @@ class StatementPipeline:
         ] = OrderedDict()
         self._def_uses: OrderedDict[tuple[str, int], DefUse] = OrderedDict()
         self._plans: OrderedDict[tuple[str, int], str] = OrderedDict()
+        self._abstractions: OrderedDict[
+            tuple[str, int], StatementAbstraction
+        ] = OrderedDict()
 
     def bump_generation(self) -> None:
         """Record a schema change: entries keyed on the old generation
@@ -237,6 +249,27 @@ class StatementPipeline:
         self._store(self._plans, key, text)
         self.stats.plan_misses += 1
         return text
+
+    def abstraction(
+        self,
+        sql: str,
+        statement: ast.Statement,
+        schema: ScriptSchema,
+    ) -> StatementAbstraction:
+        """Ternary-logic predicate abstraction for one statement —
+        WHERE truth, dead predicates, TLP partition triple — memoized
+        per schema generation (the abstraction seeds intervals and
+        nullability from declared column constraints)."""
+        key = (sql, self.generation)
+        cached = self._abstractions.get(key)
+        if cached is not None:
+            self._abstractions.move_to_end(key)
+            self.stats.abstraction_hits += 1
+            return cached
+        abstraction = summarize_statement(statement, schema)
+        self._store(self._abstractions, key, abstraction)
+        self.stats.abstraction_misses += 1
+        return abstraction
 
     # -- plumbing ----------------------------------------------------------
 

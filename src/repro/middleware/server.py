@@ -478,6 +478,14 @@ class DiverseServer:
         statement, traits, _ = self.pipeline.parsed(sql)
         return self.pipeline.def_use(sql, statement, self._schema, traits)
 
+    def abstraction(self, sql: str):
+        """Ternary-logic predicate abstraction of one statement against
+        the current schema: WHERE truth set, dead-predicate findings,
+        and the TLP partition triple when one is certifiable.  Memoized
+        per (text, schema generation) by the pipeline."""
+        statement, _, _ = self.pipeline.parsed(sql)
+        return self.pipeline.abstraction(sql, statement, self._schema)
+
     def prepare(self, sql: str) -> "PreparedStatement":
         """Parse, analyze, and translate ``sql`` once; execute it many
         times with bound parameters through the returned handle.

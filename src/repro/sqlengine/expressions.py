@@ -274,9 +274,18 @@ class Evaluator:
             return value
         raise TypeMismatch(f"expected a boolean condition, got {value!r}")
 
+    def _flag(self, name: str) -> bool:
+        """Behaviour flag from the owning engine's fault injector (False
+        when evaluating outside an execution context)."""
+        flag = getattr(self._ctx, "flag", None)
+        return bool(flag is not None and flag(name))
+
     def _eval_unaryop(self, expr: ast.UnaryOp, env) -> Any:
         if expr.op == "NOT":
-            return tri_not(self._as_tribool(expr.operand, env))
+            value = self._as_tribool(expr.operand, env)
+            if value is None and self._flag("fold_not_unknown_true"):
+                return True
+            return tri_not(value)
         if expr.op == "-":
             return sql_neg(self.evaluate(expr.operand, env))
         return self.evaluate(expr.operand, env)
@@ -322,6 +331,14 @@ class Evaluator:
     def _eval_isnullpredicate(self, expr: ast.IsNullPredicate, env) -> bool:
         value = self.evaluate(expr.operand, env)
         result = value is None
+        if (
+            result
+            and not isinstance(
+                expr.operand, (ast.ColumnRef, ast.Literal, ast.Parameter)
+            )
+            and self._flag("isnull_composite_false")
+        ):
+            result = False
         return not result if expr.negated else result
 
     def _eval_betweenpredicate(self, expr: ast.BetweenPredicate, env) -> Optional[bool]:

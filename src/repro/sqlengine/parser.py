@@ -63,6 +63,18 @@ class Parser:
         token = self._peek()
         return token.kind is TokenKind.PUNCT and token.value == char
 
+    def _at_subquery(self) -> bool:
+        """True when the upcoming tokens open a (possibly parenthesised)
+        SELECT — distinguishes ``IN ((SELECT ...))`` from a scalar
+        IN-list item that merely starts with ``(``, like ``IN ((-2))``."""
+        offset = 0
+        while True:
+            token = self._peek(offset)
+            if token.kind is TokenKind.PUNCT and token.value == "(":
+                offset += 1
+                continue
+            return token.is_keyword("SELECT") and offset > 0
+
     def _accept_punct(self, char: str) -> bool:
         if self._at_punct(char):
             self._advance()
@@ -345,7 +357,7 @@ class Parser:
                 continue
             if self._accept_keyword("IN"):
                 self._expect_punct("(")
-                if self._at_keyword("SELECT") or self._at_punct("("):
+                if self._at_keyword("SELECT") or self._at_subquery():
                     subquery = self._parse_select()
                     self._expect_punct(")")
                     left = ast.InPredicate(operand=left, subquery=subquery, negated=negated)

@@ -113,7 +113,16 @@ def compile_expression(expr: ast.Expression, scope: Scope) -> Closure:
     if node_type is ast.UnaryOp:
         operand = compile_expression(expr.operand, scope)
         if expr.op == "NOT":
-            return lambda row, aggs, ctx: tri_not(_tribool(operand(row, aggs, ctx)))
+
+            def _not(row, aggs, ctx):
+                value = _tribool(operand(row, aggs, ctx))
+                if value is None and ctx is not None and ctx.flag(
+                    "fold_not_unknown_true"
+                ):
+                    return True
+                return tri_not(value)
+
+            return _not
         if expr.op == "-":
             return lambda row, aggs, ctx: sql_neg(operand(row, aggs, ctx))
         return operand
@@ -129,9 +138,20 @@ def compile_expression(expr: ast.Expression, scope: Scope) -> Closure:
 
     if node_type is ast.IsNullPredicate:
         operand = compile_expression(expr.operand, scope)
-        if expr.negated:
-            return lambda row, aggs, ctx: operand(row, aggs, ctx) is not None
-        return lambda row, aggs, ctx: operand(row, aggs, ctx) is None
+        composite = not isinstance(
+            expr.operand, (ast.ColumnRef, ast.Literal, ast.Parameter)
+        )
+        negated = expr.negated
+
+        def _is_null(row, aggs, ctx):
+            result = operand(row, aggs, ctx) is None
+            if result and composite and ctx is not None and ctx.flag(
+                "isnull_composite_false"
+            ):
+                result = False
+            return not result if negated else result
+
+        return _is_null
 
     if node_type is ast.BetweenPredicate:
         return _compile_between(expr, scope)

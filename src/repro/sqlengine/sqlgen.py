@@ -1,14 +1,23 @@
-"""AST -> SQL rendering.
+"""AST -> SQL rendering and NULL-rich predicate generation.
 
 Turns statement/expression trees back into executable SQL text.  Used
 by the query-rephrasing wrapper (which transforms ASTs and needs to run
 the result) and by tests that check transform round-trips.
+
+The generation half (:class:`PredicateGenerator`) produces the hunt
+campaign's workload: a fixed two-table schema whose rows are seeded
+with a high NULL rate, plus deterministic random WHERE/CASE predicates
+biased towards three-valued-logic traps (NULL-able comparisons, IN
+lists containing NULL, composite NULL tests, CASE arms falling through
+to NULL).  Everything is built as an AST and rendered through the
+functions above, so generated text always reparses.
 """
 
 from __future__ import annotations
 
+import random
 from decimal import Decimal
-from typing import Union
+from typing import Any, Optional, Union
 
 from repro.errors import ReproError
 from repro.sqlengine import ast_nodes as ast
@@ -268,3 +277,221 @@ def _render_literal(value) -> str:
     if isinstance(value, float):
         return repr(value)
     raise ReproError(f"cannot render literal {value!r}")
+
+# -- NULL-rich predicate generation ------------------------------------------
+
+#: The hunt schema: ``hunt`` is the table predicates range over (three
+#: nullable columns, one NOT NULL); ``decoy`` exists so static
+#: minimization has something to drop from repro scripts.
+HUNT_TABLE = (
+    "CREATE TABLE hunt (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, "
+    "c VARCHAR(8), d INTEGER NOT NULL)"
+)
+DECOY_TABLE = "CREATE TABLE decoy (k INTEGER PRIMARY KEY, note VARCHAR(8))"
+
+_NUMERIC_COLUMNS = ("a", "b", "d")
+_STRING_VALUES = ("a", "b", "ab", "abc", "x", "")
+_LIKE_PATTERNS = ("a%", "%b", "%a%", "ab", "_b%")
+
+
+class PredicateGenerator:
+    """Deterministic NULL-rich query generation for the hunt campaign.
+
+    One instance owns a private :class:`random.Random` stream, the
+    generated row set (for PQS-style pivot picking), and the schema
+    script.  Generated predicates stay inside the universally-portable
+    SQL subset except for CASE (gated off Interbase) — callers filter
+    per product with the static portability verdict.
+    """
+
+    def __init__(self, *, seed: int = 0, rows: int = 24, null_rate: float = 0.3) -> None:
+        self._rng = random.Random(seed)
+        self.null_rate = null_rate
+        self.rows: list[dict[str, Any]] = []
+        for index in range(1, rows + 1):
+            self.rows.append(
+                {
+                    "id": index,
+                    "a": self._maybe_null(self._small_int),
+                    "b": self._maybe_null(self._small_int),
+                    "c": self._maybe_null(
+                        lambda: self._rng.choice(_STRING_VALUES)
+                    ),
+                    "d": self._rng.randint(0, 9),
+                }
+            )
+
+    def _maybe_null(self, make):
+        return None if self._rng.random() < self.null_rate else make()
+
+    def _small_int(self) -> int:
+        return self._rng.randint(-5, 9)
+
+    # -- schema ------------------------------------------------------------
+
+    def schema_statements(self) -> list[str]:
+        """DDL plus NULL-rich INSERTs (and decoy traffic) for the hunt."""
+        statements = [HUNT_TABLE, DECOY_TABLE]
+        for row in self.rows:
+            values = ", ".join(
+                _render_literal(row[column]) for column in ("id", "a", "b", "c", "d")
+            )
+            statements.append(
+                f"INSERT INTO hunt (id, a, b, c, d) VALUES ({values})"
+            )
+        for index in range(1, 5):
+            statements.append(
+                f"INSERT INTO decoy (k, note) VALUES ({index}, 'n{index}')"
+            )
+        return statements
+
+    # -- predicate grammar -------------------------------------------------
+
+    def _numeric_term(self, depth: int) -> ast.Expression:
+        roll = self._rng.random()
+        if depth <= 0 or roll < 0.45:
+            return ast.ColumnRef(self._rng.choice(_NUMERIC_COLUMNS))
+        if roll < 0.7:
+            return ast.Literal(self._small_int())
+        if roll < 0.8:
+            return ast.Literal(None)
+        op = self._rng.choice(("+", "-", "*"))
+        return ast.BinaryOp(
+            op, self._numeric_term(depth - 1), self._numeric_term(depth - 1)
+        )
+
+    def _comparison(self, depth: int) -> ast.Expression:
+        op = self._rng.choice(("=", "<>", "<", "<=", ">", ">="))
+        if self._rng.random() < 0.2:
+            left: ast.Expression = ast.ColumnRef("c")
+            right: ast.Expression = ast.Literal(
+                None
+                if self._rng.random() < 0.2
+                else self._rng.choice(_STRING_VALUES)
+            )
+        else:
+            left = self._numeric_term(depth)
+            right = self._numeric_term(depth)
+        return ast.BinaryOp(op, left, right)
+
+    def _leaf(self, depth: int, *, allow_case: bool) -> ast.Expression:
+        roll = self._rng.random()
+        if roll < 0.45:
+            return self._comparison(depth)
+        if roll < 0.6:
+            operand: ast.Expression = (
+                self._numeric_term(depth)
+                if self._rng.random() < 0.6
+                else ast.ColumnRef(self._rng.choice(("a", "b", "c")))
+            )
+            return ast.IsNullPredicate(operand, negated=self._rng.random() < 0.3)
+        if roll < 0.72:
+            return ast.BetweenPredicate(
+                self._numeric_term(depth),
+                ast.Literal(self._small_int()),
+                ast.Literal(self._small_int()),
+                negated=self._rng.random() < 0.3,
+            )
+        if roll < 0.86:
+            values: list[ast.Expression] = [
+                ast.Literal(self._small_int())
+                for _ in range(self._rng.randint(1, 3))
+            ]
+            if self._rng.random() < 0.5:
+                values.append(ast.Literal(None))
+            return ast.InPredicate(
+                ast.ColumnRef(self._rng.choice(_NUMERIC_COLUMNS)),
+                values=values,
+                negated=self._rng.random() < 0.4,
+            )
+        if roll < 0.94 or not allow_case:
+            return ast.LikePredicate(
+                ast.ColumnRef("c"),
+                ast.Literal(self._rng.choice(_LIKE_PATTERNS)),
+                negated=self._rng.random() < 0.3,
+            )
+        # Searched CASE used as a predicate, arms falling through to
+        # NULL or answering UNKNOWN outright.
+        branches = [
+            (self._comparison(depth), ast.Literal(True)),
+            (
+                ast.IsNullPredicate(
+                    ast.ColumnRef(self._rng.choice(("a", "b", "c")))
+                ),
+                ast.Literal(self._rng.choice((None, False))),
+            ),
+        ]
+        else_result = self._rng.choice(
+            (ast.Literal(False), ast.Literal(None), None)
+        )
+        return ast.CaseExpr(None, branches, else_result)
+
+    def predicate(self, depth: int = 2, *, allow_case: bool = True) -> ast.Expression:
+        """One random NULL-rich boolean expression."""
+        if depth <= 0:
+            return self._leaf(0, allow_case=allow_case)
+        roll = self._rng.random()
+        if roll < 0.35:
+            return ast.BinaryOp(
+                self._rng.choice(("AND", "OR")),
+                self.predicate(depth - 1, allow_case=allow_case),
+                self.predicate(depth - 1, allow_case=allow_case),
+            )
+        if roll < 0.5:
+            return ast.UnaryOp(
+                "NOT", self.predicate(depth - 1, allow_case=allow_case)
+            )
+        return self._leaf(depth, allow_case=allow_case)
+
+    # -- statement generation ------------------------------------------------
+
+    def select_statement(self, *, allow_case: bool = True) -> str:
+        """A hunt SELECT with a fresh random WHERE predicate."""
+        where = self.predicate(2, allow_case=allow_case)
+        stmt = ast.SelectStatement(
+            body=ast.SelectCore(
+                items=[
+                    ast.SelectItem(ast.ColumnRef(name))
+                    for name in ("id", "a", "b", "c", "d")
+                ],
+                from_items=[ast.TableRef("hunt")],
+                where=where,
+            )
+        )
+        return render_statement(stmt)
+
+    def pivot_case(self) -> tuple[str, int]:
+        """A PQS-style pivot query: ``(sql, pivot id)``.
+
+        The predicate is constructed to be TRUE on the chosen pivot row
+        (per-column equality, with ``IS NULL`` standing in for NULL
+        cells), so the pivot row must appear in the result on every
+        correct product.
+        """
+        pivot = self._rng.choice(self.rows)
+        columns = list(self._rng.sample(("a", "b", "c", "d"), self._rng.randint(2, 3)))
+        conjuncts: list[ast.Expression] = []
+        for column in columns:
+            value = pivot[column]
+            if value is None:
+                conjuncts.append(ast.IsNullPredicate(ast.ColumnRef(column)))
+            else:
+                conjuncts.append(
+                    ast.BinaryOp("=", ast.ColumnRef(column), ast.Literal(value))
+                )
+        where: ast.Expression = conjuncts[0]
+        for conjunct in conjuncts[1:]:
+            where = ast.BinaryOp("AND", where, conjunct)
+        if self._rng.random() < 0.3:
+            # OR-ing noise keeps the pivot row selected.
+            where = ast.BinaryOp(
+                "OR", where, self.predicate(1, allow_case=False)
+            )
+        stmt = ast.SelectStatement(
+            body=ast.SelectCore(
+                items=[ast.SelectItem(ast.ColumnRef("id"))],
+                from_items=[ast.TableRef("hunt")],
+                where=where,
+            )
+        )
+        return render_statement(stmt), pivot["id"]

@@ -147,3 +147,42 @@ class TestLintJsonFindings:
         }
         # And the plain renderer carries the statement index too.
         assert "(statement 3)" in str(finding)
+
+
+class TestTlpCommand:
+    def test_partitions_a_plain_select(self, capsys):
+        assert main(["tlp", "SELECT id FROM hunt WHERE a > b"]) == 0
+        output = capsys.readouterr().out
+        assert "certificate:" in output
+        assert "IS NULL" in output
+        assert "NOT (a > b)" in output
+
+    def test_reports_blockers(self, capsys):
+        assert main(["tlp", "SELECT COUNT(id) FROM hunt WHERE a > 0"]) == 0
+        assert "no TLP partition" in capsys.readouterr().out
+
+    def test_requires_sql(self, capsys):
+        assert main(["tlp"]) == 2
+        assert "usage: python -m repro tlp" in capsys.readouterr().err
+
+    def test_rejects_unparseable_sql(self, capsys):
+        assert main(["tlp", "SELEKT 1"]) == 2
+        err = capsys.readouterr().err
+        assert "usage: python -m repro tlp" in err
+        assert "cannot abstract" in err
+
+
+class TestHuntCommand:
+    def test_small_pristine_campaign_is_silent(self, capsys):
+        assert main(["hunt", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "hunt: 8 statement(s)" in output
+        assert "no findings banked" in output
+
+    def test_rejects_non_integer_count(self, capsys):
+        assert main(["hunt", "lots"]) == 2
+        assert "usage: python -m repro hunt [N]" in capsys.readouterr().err
+
+    def test_rejects_non_positive_count(self, capsys):
+        assert main(["hunt", "0"]) == 2
+        assert "usage: python -m repro hunt [N]" in capsys.readouterr().err
